@@ -1,0 +1,479 @@
+//! Indexable basis-function dictionaries and design matrices.
+//!
+//! A dictionary enumerates the `M` basis functions spanning the chosen
+//! model family over `N` variables. For the paper's two families the
+//! enumeration is pure index arithmetic (no per-term storage), which is
+//! what makes `M ~ 10⁴–10⁶` practical:
+//!
+//! - **linear**: `M = 1 + N` — constant, then `Δy_v`;
+//! - **quadratic**: `M = 1 + 2N + N(N−1)/2` — constant, linear terms,
+//!   pure quadratics `ψ₂(Δy_v)`, then cross terms `Δy_i·Δy_j` (`i < j`)
+//!   in lexicographic order. This matches the paper's
+//!   "200-dimensional quadratic model contains 20 301 unknown
+//!   coefficients": `1 + 400 + 19 900 = 20 301`.
+//!
+//! An arbitrary total-degree family is provided for small `N`.
+
+use crate::hermite;
+use crate::term::Term;
+use rsm_linalg::Matrix;
+
+/// The model family a [`Dictionary`] spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DictionaryKind {
+    /// Constant + first-order terms.
+    Linear,
+    /// Constant + linear + pure-quadratic + pairwise cross terms.
+    Quadratic,
+    /// All Hermite products of total degree ≤ d (small `N` only —
+    /// the term list is materialized).
+    TotalDegree(u32),
+}
+
+/// An indexable dictionary of `M` orthonormal basis functions over `N`
+/// independent standard-normal variables.
+///
+/// # Example
+///
+/// ```
+/// use rsm_basis::{Dictionary, DictionaryKind};
+/// let d = Dictionary::new(200, DictionaryKind::Quadratic);
+/// assert_eq!(d.len(), 20_301); // the paper's Table II/III size
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dictionary {
+    n: usize,
+    kind: DictionaryKind,
+    /// Materialized terms for [`DictionaryKind::TotalDegree`].
+    terms: Option<Vec<Term>>,
+}
+
+impl Dictionary {
+    /// Creates a dictionary over `n` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or for [`DictionaryKind::TotalDegree`] if the
+    /// term count would exceed 10⁷ (use the structured families
+    /// instead).
+    pub fn new(n: usize, kind: DictionaryKind) -> Self {
+        assert!(n > 0, "dictionary needs at least one variable");
+        let terms = match kind {
+            DictionaryKind::TotalDegree(d) => {
+                /// DFS frame: (next variable, remaining degree, partial factors).
+                type Frame = (usize, u32, Vec<(usize, u32)>);
+                let mut terms = Vec::new();
+                let mut stack: Vec<Frame> = vec![(0, d, Vec::new())];
+                // Depth-first enumeration of exponent vectors with
+                // total degree ≤ d, producing graded-lexicographic-ish
+                // order after the sort below.
+                while let Some((v, rem, partial)) = stack.pop() {
+                    if v == n {
+                        terms.push(Term::new(partial));
+                        continue;
+                    }
+                    for deg in (0..=rem).rev() {
+                        let mut p = partial.clone();
+                        if deg > 0 {
+                            p.push((v, deg));
+                        }
+                        stack.push((v + 1, rem - deg, p));
+                    }
+                    assert!(
+                        terms.len() <= 10_000_000,
+                        "total-degree dictionary too large; use Linear/Quadratic"
+                    );
+                }
+                terms.sort_by_key(|t| {
+                    (
+                        t.total_degree(),
+                        t.factors().iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+                    )
+                });
+                Some(terms)
+            }
+            _ => None,
+        };
+        Dictionary { n, kind, terms }
+    }
+
+    /// Number of variables `N`.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// The model family.
+    #[inline]
+    pub fn kind(&self) -> DictionaryKind {
+        self.kind
+    }
+
+    /// Number of basis functions `M`.
+    pub fn len(&self) -> usize {
+        match self.kind {
+            DictionaryKind::Linear => 1 + self.n,
+            DictionaryKind::Quadratic => 1 + 2 * self.n + self.n * (self.n - 1) / 2,
+            DictionaryKind::TotalDegree(_) => self.terms.as_ref().expect("materialized").len(),
+        }
+    }
+
+    /// `false` always (a dictionary contains at least the constant);
+    /// provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `m`-th basis function as a [`Term`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= len()`.
+    pub fn term(&self, m: usize) -> Term {
+        assert!(m < self.len(), "term index {m} out of range {}", self.len());
+        match self.kind {
+            DictionaryKind::Linear => {
+                if m == 0 {
+                    Term::constant()
+                } else {
+                    Term::linear(m - 1)
+                }
+            }
+            DictionaryKind::Quadratic => {
+                let n = self.n;
+                if m == 0 {
+                    Term::constant()
+                } else if m <= n {
+                    Term::linear(m - 1)
+                } else if m <= 2 * n {
+                    Term::pure_quadratic(m - n - 1)
+                } else {
+                    let (i, j) = cross_pair(n, m - 2 * n - 1);
+                    Term::cross(i, j)
+                }
+            }
+            DictionaryKind::TotalDegree(_) => self.terms.as_ref().expect("materialized")[m].clone(),
+        }
+    }
+
+    /// Evaluates basis function `m` at one point.
+    ///
+    /// For scattered single-term queries; use [`Self::eval_point_into`]
+    /// when all `M` values are needed.
+    pub fn eval_term(&self, m: usize, dy: &[f64]) -> f64 {
+        match self.kind {
+            DictionaryKind::Linear => {
+                if m == 0 {
+                    1.0
+                } else {
+                    dy[m - 1]
+                }
+            }
+            DictionaryKind::Quadratic => {
+                let n = self.n;
+                if m == 0 {
+                    1.0
+                } else if m <= n {
+                    dy[m - 1]
+                } else if m <= 2 * n {
+                    let y = dy[m - n - 1];
+                    (y * y - 1.0) * std::f64::consts::FRAC_1_SQRT_2
+                } else {
+                    let (i, j) = cross_pair(n, m - 2 * n - 1);
+                    dy[i] * dy[j]
+                }
+            }
+            DictionaryKind::TotalDegree(_) => self.term(m).eval(dy),
+        }
+    }
+
+    /// Evaluates all `M` basis functions at one point into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy.len() != N` or `out.len() != M`.
+    pub fn eval_point_into(&self, dy: &[f64], out: &mut [f64]) {
+        assert_eq!(dy.len(), self.n, "eval_point_into: wrong input dimension");
+        assert_eq!(out.len(), self.len(), "eval_point_into: wrong output size");
+        match self.kind {
+            DictionaryKind::Linear => {
+                out[0] = 1.0;
+                out[1..].copy_from_slice(dy);
+            }
+            DictionaryKind::Quadratic => {
+                let n = self.n;
+                out[0] = 1.0;
+                out[1..=n].copy_from_slice(dy);
+                for (v, &y) in dy.iter().enumerate() {
+                    out[n + 1 + v] = (y * y - 1.0) * std::f64::consts::FRAC_1_SQRT_2;
+                }
+                let mut p = 2 * n + 1;
+                for i in 0..n {
+                    let yi = dy[i];
+                    for &yj in dy.iter().skip(i + 1) {
+                        out[p] = yi * yj;
+                        p += 1;
+                    }
+                }
+            }
+            DictionaryKind::TotalDegree(d) => {
+                // Shared ψ table: psis[v][k] = ψ_k(dy[v]).
+                let dmax = d as usize;
+                let mut psis = vec![0.0; self.n * (dmax + 1)];
+                for v in 0..self.n {
+                    hermite::psi_all(dy[v], &mut psis[v * (dmax + 1)..(v + 1) * (dmax + 1)]);
+                }
+                for (m, t) in self
+                    .terms
+                    .as_ref()
+                    .expect("materialized")
+                    .iter()
+                    .enumerate()
+                {
+                    let mut prod = 1.0;
+                    for &(v, deg) in t.factors() {
+                        prod *= psis[v * (dmax + 1) + deg as usize];
+                    }
+                    out[m] = prod;
+                }
+            }
+        }
+    }
+
+    /// Builds the `K × M` design matrix `G` of Eq. (6)–(8): row `k`
+    /// holds all basis functions evaluated at sample `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.cols() != N`.
+    pub fn design_matrix(&self, samples: &Matrix) -> Matrix {
+        assert_eq!(
+            samples.cols(),
+            self.n,
+            "design_matrix: sample dimension mismatch"
+        );
+        let k = samples.rows();
+        let m = self.len();
+        let mut g = Matrix::zeros(k, m);
+        for r in 0..k {
+            let dy = samples.row(r).to_vec();
+            self.eval_point_into(&dy, g.row_mut(r));
+        }
+        g
+    }
+
+    /// Evaluates a block of columns `[col_start, col_start + out.cols())`
+    /// of the design matrix into `out` — the streaming path for
+    /// dictionaries too large to materialize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds `M` or `samples.cols() != N` or
+    /// `out.rows() != samples.rows()`.
+    pub fn eval_column_block(&self, samples: &Matrix, col_start: usize, out: &mut Matrix) {
+        assert_eq!(samples.cols(), self.n);
+        assert_eq!(out.rows(), samples.rows());
+        let width = out.cols();
+        assert!(col_start + width <= self.len(), "column block out of range");
+        for r in 0..samples.rows() {
+            let dy = samples.row(r);
+            for c in 0..width {
+                out[(r, c)] = self.eval_term(col_start + c, dy);
+            }
+        }
+    }
+}
+
+/// Maps a lexicographic cross-term rank `c` to its `(i, j)` pair,
+/// `0 ≤ i < j < n`: rank 0 ↦ (0,1), rank 1 ↦ (0,2), …
+fn cross_pair(n: usize, c: usize) -> (usize, usize) {
+    // Pairs with first index < i: S(i) = i·(2n − i − 1)/2.
+    // Closed-form initial guess, then exact fixup (guards float error).
+    let nf = n as f64;
+    let cf = c as f64;
+    let mut i = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * cf).max(0.0).sqrt()) / 2.0)
+        .floor() as usize;
+    let s = |i: usize| i * (2 * n - i - 1) / 2;
+    while i + 1 < n && s(i + 1) <= c {
+        i += 1;
+    }
+    while i > 0 && s(i) > c {
+        i -= 1;
+    }
+    let j = i + 1 + (c - s(i));
+    debug_assert!(j < n, "cross_pair: rank {c} out of range for n={n}");
+    (i, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_size_and_terms() {
+        let d = Dictionary::new(5, DictionaryKind::Linear);
+        assert_eq!(d.len(), 6);
+        assert!(d.term(0).is_constant());
+        assert_eq!(d.term(3), Term::linear(2));
+    }
+
+    #[test]
+    fn quadratic_size_matches_paper() {
+        // Table II/III: 200 variables → 20 301 coefficients.
+        let d = Dictionary::new(200, DictionaryKind::Quadratic);
+        assert_eq!(d.len(), 20_301);
+        // SRAM appendix note: 21 310 vars → 21 311 linear bases.
+        let l = Dictionary::new(21_310, DictionaryKind::Linear);
+        assert_eq!(l.len(), 21_311);
+    }
+
+    #[test]
+    fn quadratic_term_layout() {
+        let n = 4;
+        let d = Dictionary::new(n, DictionaryKind::Quadratic);
+        assert_eq!(d.len(), 1 + 8 + 6);
+        assert!(d.term(0).is_constant());
+        assert_eq!(d.term(1), Term::linear(0));
+        assert_eq!(d.term(n), Term::linear(n - 1));
+        assert_eq!(d.term(n + 1), Term::pure_quadratic(0));
+        assert_eq!(d.term(2 * n), Term::pure_quadratic(n - 1));
+        assert_eq!(d.term(2 * n + 1), Term::cross(0, 1));
+        assert_eq!(d.term(2 * n + 2), Term::cross(0, 2));
+        assert_eq!(d.term(2 * n + 3), Term::cross(0, 3));
+        assert_eq!(d.term(2 * n + 4), Term::cross(1, 2));
+        assert_eq!(d.term(d.len() - 1), Term::cross(2, 3));
+    }
+
+    #[test]
+    fn cross_pair_exhaustive_small() {
+        for n in 2..12 {
+            let mut rank = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(cross_pair(n, rank), (i, j), "n={n} rank={rank}");
+                    rank += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_term_matches_term_eval() {
+        let d = Dictionary::new(6, DictionaryKind::Quadratic);
+        let dy = [0.3, -1.1, 0.8, 2.0, -0.4, 0.05];
+        for m in 0..d.len() {
+            let direct = d.eval_term(m, &dy);
+            let via_term = d.term(m).eval(&dy);
+            assert!((direct - via_term).abs() < 1e-13, "m={m}");
+        }
+    }
+
+    #[test]
+    fn eval_point_into_matches_per_term() {
+        let d = Dictionary::new(5, DictionaryKind::Quadratic);
+        let dy = [1.0, -0.5, 0.0, 2.2, -1.7];
+        let mut out = vec![0.0; d.len()];
+        d.eval_point_into(&dy, &mut out);
+        for (m, &o) in out.iter().enumerate() {
+            assert!((o - d.eval_term(m, &dy)).abs() < 1e-13, "m={m}");
+        }
+    }
+
+    #[test]
+    fn design_matrix_rows_are_point_evals() {
+        let d = Dictionary::new(3, DictionaryKind::Linear);
+        let samples = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 0.5]]).unwrap();
+        let g = d.design_matrix(&samples);
+        assert_eq!(g.shape(), (2, 4));
+        assert_eq!(g.row(0), &[1.0, 1.0, 2.0, 3.0]);
+        assert_eq!(g.row(1), &[1.0, -1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn column_block_matches_design_matrix() {
+        let d = Dictionary::new(4, DictionaryKind::Quadratic);
+        let samples = Matrix::from_fn(7, 4, |r, c| ((r * 3 + c) as f64 * 0.37).sin());
+        let g = d.design_matrix(&samples);
+        let mut block = Matrix::zeros(7, 5);
+        d.eval_column_block(&samples, 6, &mut block);
+        for r in 0..7 {
+            for c in 0..5 {
+                assert!((block[(r, c)] - g[(r, 6 + c)]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn total_degree_dictionary_counts() {
+        // N=2, d=2 → 1 + 2 + 3 = 6 terms (Eq. (4) of the paper).
+        let d = Dictionary::new(2, DictionaryKind::TotalDegree(2));
+        assert_eq!(d.len(), 6);
+        // First term constant, next two linear (paper's g1..g5 ordering
+        // up to within-degree permutation).
+        assert!(d.term(0).is_constant());
+        assert_eq!(d.term(1).total_degree(), 1);
+        assert_eq!(d.term(2).total_degree(), 1);
+        for m in 3..6 {
+            assert_eq!(d.term(m).total_degree(), 2);
+        }
+    }
+
+    #[test]
+    fn total_degree_matches_binomial() {
+        // #terms of total degree ≤ d in n vars = C(n + d, d).
+        let d = Dictionary::new(3, DictionaryKind::TotalDegree(3));
+        assert_eq!(d.len(), 20); // C(6,3)
+        let d2 = Dictionary::new(4, DictionaryKind::TotalDegree(2));
+        assert_eq!(d2.len(), 15); // C(6,2)
+    }
+
+    #[test]
+    fn total_degree_eval_consistency() {
+        let d = Dictionary::new(3, DictionaryKind::TotalDegree(3));
+        let dy = [0.4, -1.2, 0.9];
+        let mut out = vec![0.0; d.len()];
+        d.eval_point_into(&dy, &mut out);
+        for m in 0..d.len() {
+            assert!((out[m] - d.term(m).eval(&dy)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn term_index_out_of_range_panics() {
+        let d = Dictionary::new(3, DictionaryKind::Linear);
+        let _ = d.term(4);
+    }
+
+    #[test]
+    fn quadratic_orthonormality_monte_carlo() {
+        // E[g_i g_j] = δ_ij for the quadratic family under N(0, I).
+        use rsm_stats::NormalSampler;
+        let n = 3;
+        let d = Dictionary::new(n, DictionaryKind::Quadratic);
+        let mut s = NormalSampler::seed_from_u64(99);
+        let k = 200_000;
+        let m = d.len();
+        let mut acc = vec![0.0; m * m];
+        let mut row = vec![0.0; m];
+        for _ in 0..k {
+            let dy = s.sample_vec(n);
+            d.eval_point_into(&dy, &mut row);
+            for i in 0..m {
+                for j in i..m {
+                    acc[i * m + j] += row[i] * row[j];
+                }
+            }
+        }
+        for i in 0..m {
+            for j in i..m {
+                let v = acc[i * m + j] / k as f64;
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (v - expect).abs() < 0.05,
+                    "E[g{i}·g{j}] = {v}, expected {expect}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Orthonormal polynomial basis dictionaries for response surface
+//! modeling (Section II of the paper).
+//!
+//! After PCA the variation variables `ΔY` are independent standard
+//! normals, so the natural orthonormal basis under the Gaussian measure
+//! is the (normalized, probabilists') Hermite family. This crate
+//! provides:
+//!
+//! - [`hermite`] — 1-D normalized Hermite polynomials `ψ_n` with
+//!   `E[ψ_i(z)·ψ_j(z)] = δ_ij` for `z ~ N(0,1)`;
+//! - [`term`] — sparse multi-dimensional product terms
+//!   `g(ΔY) = Π_v ψ_{d_v}(Δy_v)`;
+//! - [`dictionary`] — indexable dictionaries (linear, full quadratic,
+//!   total-degree) that enumerate the `M` basis functions *without*
+//!   storing them, plus design-matrix construction in both materialized
+//!   and streaming (column-block) forms.
+
+// Numerical kernels index several parallel arrays inside one loop;
+// iterator-zip rewrites obscure the math, so the range-loop lint is
+// disabled crate-wide.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod dictionary;
+pub mod hermite;
+pub mod term;
+
+pub use dictionary::{Dictionary, DictionaryKind};
+pub use term::Term;

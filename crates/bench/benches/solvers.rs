@@ -1,0 +1,98 @@
+//! Criterion benches of the four solvers' fitting cost.
+//!
+//! These document the scaling behind the tables: OMP/STAR/LAR cost
+//! `O(λ·K·M)` per fit, LS costs `O(K·M²)` — the law used to
+//! extrapolate the LS paper-scale fitting times (EXPERIMENTS.md), and
+//! the incremental-QR ablation (naive re-factoring OMP would be
+//! `O(λ²·K·M)`-ish; the bench shows near-linear growth in λ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsm_core::{lar::LarConfig, ls, omp::OmpConfig, star::StarConfig};
+use rsm_linalg::Matrix;
+use rsm_stats::NormalSampler;
+use std::hint::black_box;
+
+fn sparse_problem(k: usize, m: usize, p: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = NormalSampler::seed_from_u64(seed);
+    let g = Matrix::from_fn(k, m, |_, _| rng.sample());
+    let mut f = vec![0.0; k];
+    for i in 0..p {
+        let j = (i * m / p + 3) % m;
+        for r in 0..k {
+            f[r] += (1.0 + i as f64) * g[(r, j)];
+        }
+    }
+    for v in &mut f {
+        *v += 0.05 * rng.sample();
+    }
+    (g, f)
+}
+
+fn bench_sparse_solvers_vs_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_solvers_vs_M");
+    group.sample_size(10);
+    for &m in &[500usize, 2_000, 8_000] {
+        let (g, f) = sparse_problem(300, m, 10, 1);
+        group.bench_with_input(BenchmarkId::new("omp_lambda20", m), &m, |b, _| {
+            b.iter(|| {
+                OmpConfig::new(20)
+                    .fit(black_box(&g), black_box(&f))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("star_lambda20", m), &m, |b, _| {
+            b.iter(|| {
+                StarConfig::new(20)
+                    .fit(black_box(&g), black_box(&f))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lar_20steps", m), &m, |b, _| {
+            b.iter(|| {
+                LarConfig::new(20)
+                    .fit(black_box(&g), black_box(&f))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_omp_vs_lambda(c: &mut Criterion) {
+    // Near-linear growth in λ demonstrates the incremental-QR update;
+    // a from-scratch re-factor per step would grow quadratically.
+    let mut group = c.benchmark_group("omp_vs_lambda");
+    group.sample_size(10);
+    let (g, f) = sparse_problem(400, 4_000, 40, 2);
+    for &lambda in &[10usize, 20, 40, 80] {
+        group.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, &l| {
+            let cfg = OmpConfig {
+                rel_tol: 0.0, // force the full path
+                ..OmpConfig::new(l)
+            };
+            b.iter(|| cfg.fit(black_box(&g), black_box(&f)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ls_vs_m(c: &mut Criterion) {
+    // The K·M² law used for the paper-scale LS extrapolations.
+    let mut group = c.benchmark_group("ls_vs_M");
+    group.sample_size(10);
+    for &m in &[100usize, 200, 400] {
+        let (g, f) = sparse_problem(3 * m, m, 10, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| ls::fit(black_box(&g), black_box(&f)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sparse_solvers_vs_m,
+    bench_omp_vs_lambda,
+    bench_ls_vs_m
+);
+criterion_main!(benches);

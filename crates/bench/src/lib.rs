@@ -1,0 +1,262 @@
+//! Experiment harness shared by the table/figure regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it:
+//!
+//! | paper artifact | binary | notes |
+//! |---|---|---|
+//! | Fig. 4 (a–d)   | `fig4`   | linear error vs training-set size, OpAmp |
+//! | Table I        | `table1` | linear modeling cost, OpAmp |
+//! | Table II       | `table2` | quadratic modeling error, OpAmp |
+//! | Table III      | `table3` | quadratic modeling cost, OpAmp |
+//! | Table IV       | `table4` | SRAM read-path error and cost |
+//! | Fig. 6         | `fig6`   | sorted |α| of the SRAM delay model |
+//! | ablations      | `ablation` | OMP-vs-STAR re-fit, LAR-vs-lasso, atom normalization |
+//!
+//! Each binary accepts `--quick` (reduced sample counts, for smoke
+//! runs) and writes a JSON record under `results/`.
+
+pub mod quadratic;
+
+use rsm_core::{CoreError, SparseModel};
+use rsm_linalg::Matrix;
+use rsm_stats::metrics::relative_error;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The paper's reported transistor-level simulation cost per sampling
+/// point for the OpAmp testbench (Table I: 16 140 s / 1200 samples).
+pub const SPECTRE_SECONDS_OPAMP: f64 = 13.45;
+/// The paper's per-sample cost for the SRAM read path
+/// (Table IV: 728 250 s / 25 000 samples).
+pub const SPECTRE_SECONDS_SRAM: f64 = 29.13;
+
+/// Experiment-wide run options parsed from `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Reduced sample counts for a fast smoke run.
+    pub quick: bool,
+}
+
+impl RunOptions {
+    /// Parses `--quick` from the command line.
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        RunOptions { quick }
+    }
+
+    /// Picks between the full and the quick value.
+    pub fn pick(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Measures the wall-clock seconds of a closure alongside its result.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Out-of-sample relative modeling error of a fitted model.
+pub fn test_error(model: &SparseModel, g_test: &Matrix, f_test: &[f64]) -> f64 {
+    relative_error(&model.predict_matrix(g_test), f_test)
+}
+
+/// One row of a cost table (Tables I, III, IV of the paper).
+#[derive(Debug, Clone, Serialize)]
+pub struct CostRow {
+    /// Method name ("LS", "STAR", "LAR", "OMP").
+    pub method: String,
+    /// Modeling error on the testing set (fraction, not %).
+    pub error: Option<f64>,
+    /// Number of training samples.
+    pub samples: usize,
+    /// Projected simulation cost at the paper's per-sample Spectre
+    /// seconds (reproduces the tables' "simulation cost" row).
+    pub sim_cost_paper_s: f64,
+    /// Measured simulation cost on our substrate simulator (s).
+    pub sim_cost_measured_s: f64,
+    /// Measured fitting cost (s); `extrapolated = true` marks values
+    /// projected from a smaller run by a scaling law.
+    pub fit_cost_s: f64,
+    /// Whether `fit_cost_s` is a scaling-law extrapolation.
+    pub extrapolated: bool,
+}
+
+impl CostRow {
+    /// The "total cost" the paper reports: paper-scale simulation cost
+    /// plus fitting cost.
+    pub fn total_paper_s(&self) -> f64 {
+        self.sim_cost_paper_s + self.fit_cost_s
+    }
+}
+
+/// Renders a cost table in the layout of the paper's Tables I/III/IV.
+pub fn print_cost_table(title: &str, rows: &[CostRow]) {
+    println!("\n=== {title} ===");
+    print!("{:<28}", "");
+    for r in rows {
+        print!("{:>14}", r.method);
+    }
+    println!();
+    if rows.iter().any(|r| r.error.is_some()) {
+        print!("{:<28}", "Modeling error");
+        for r in rows {
+            match r.error {
+                Some(e) => print!("{:>13.2}%", e * 100.0),
+                None => print!("{:>14}", "-"),
+            }
+        }
+        println!();
+    }
+    print!("{:<28}", "# of training samples");
+    for r in rows {
+        print!("{:>14}", r.samples);
+    }
+    println!();
+    print!("{:<28}", "Simulation cost (paper s)");
+    for r in rows {
+        print!("{:>14.0}", r.sim_cost_paper_s);
+    }
+    println!();
+    print!("{:<28}", "Simulation cost (ours, s)");
+    for r in rows {
+        print!("{:>14.2}", r.sim_cost_measured_s);
+    }
+    println!();
+    print!("{:<28}", "Fitting cost (s)");
+    for r in rows {
+        if r.extrapolated {
+            print!("{:>13.0}*", r.fit_cost_s);
+        } else {
+            print!("{:>14.2}", r.fit_cost_s);
+        }
+    }
+    println!();
+    print!("{:<28}", "Total cost (paper s)");
+    for r in rows {
+        print!("{:>14.0}", r.total_paper_s());
+    }
+    println!();
+    if rows.iter().any(|r| r.extrapolated) {
+        println!("(* fitting cost extrapolated from a reduced-size run; see EXPERIMENTS.md)");
+    }
+    if let Some(ls) = rows.iter().find(|r| r.method == "LS") {
+        for r in rows.iter().filter(|r| r.method != "LS") {
+            println!(
+                "speedup vs LS ({}): {:.1}x",
+                r.method,
+                ls.total_paper_s() / r.total_paper_s()
+            );
+        }
+    }
+}
+
+/// Writes a serializable result record to `results/<name>.json`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] wrapping any I/O failure (the
+/// experiment itself has succeeded; callers may choose to ignore).
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> Result<PathBuf, CoreError> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CoreError::BadConfig(format!("cannot create results dir: {e}")))?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| CoreError::BadConfig(format!("serialize: {e}")))?;
+    std::fs::write(&path, json)
+        .map_err(|e| CoreError::BadConfig(format!("write {path:?}: {e}")))?;
+    Ok(path)
+}
+
+/// An ASCII line plot: one labelled series of `(x, y)` points rendered
+/// as rows of `y` values (the terminal stand-in for the paper's
+/// figures).
+pub fn print_series_table(title: &str, xlabel: &str, xs: &[usize], series: &[(&str, Vec<f64>)]) {
+    println!("\n=== {title} ===");
+    print!("{xlabel:>10}");
+    for (name, _) in series {
+        print!("{name:>12}");
+    }
+    println!();
+    for (i, &x) in xs.iter().enumerate() {
+        print!("{x:>10}");
+        for (_, ys) in series {
+            match ys.get(i) {
+                Some(y) if y.is_finite() => print!("{:>11.2}%", y * 100.0),
+                _ => print!("{:>12}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Fits a least-squares baseline at a reduced problem size and
+/// extrapolates its fitting cost to `(k_target, m_target)` with the
+/// QR cost law `cost ∝ K·M²`.
+///
+/// Returns `(measured_seconds_at_small, extrapolated_seconds_at_target)`.
+pub fn ls_cost_extrapolation(
+    g_small: &Matrix,
+    f_small: &[f64],
+    k_target: usize,
+    m_target: usize,
+) -> Result<(f64, f64), CoreError> {
+    let (res, secs) = timed(|| rsm_core::ls::fit(g_small, f_small));
+    res?;
+    let (k0, m0) = g_small.shape();
+    let scale = (k_target as f64 / k0 as f64) * (m_target as f64 / m0 as f64).powi(2);
+    Ok((secs, secs * scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_row_total() {
+        let r = CostRow {
+            method: "OMP".into(),
+            error: Some(0.04),
+            samples: 1000,
+            sim_cost_paper_s: 29_130.0,
+            sim_cost_measured_s: 4.0,
+            fit_cost_s: 170.0,
+            extrapolated: false,
+        };
+        assert!((r.total_paper_s() - 29_300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ls_extrapolation_scales_cubically() {
+        use rsm_stats::NormalSampler;
+        let mut s = NormalSampler::seed_from_u64(3);
+        let g = Matrix::from_fn(40, 10, |_, _| s.sample());
+        let f: Vec<f64> = (0..40).map(|_| s.sample()).collect();
+        let (small, big) = ls_cost_extrapolation(&g, &f, 400, 100).unwrap();
+        // K x10 and M x10 → x1000 scale factor.
+        assert!((big / small - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_options_pick() {
+        let quick = RunOptions { quick: true };
+        let full = RunOptions { quick: false };
+        assert_eq!(quick.pick(1000, 10), 10);
+        assert_eq!(full.pick(1000, 10), 1000);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, secs) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,412 @@
+//! SRAM read path (Fig. 5 of the paper): word-line driver chain, cell
+//! array, replica-timed sense amplifier, output buffer.
+//!
+//! The modeled metric is the read delay from the word line (WL) to the
+//! sense-amplifier output (Out). At paper scale the variation space has
+//! **21 310** independent variables; as the paper observes, the delay
+//! depends strongly on only a few dozen of them — the devices on the
+//! read path — while the thousands of off-path cell variables enter
+//! only through bit-line loading and leakage (near-zero coefficients)
+//! or not at all (exactly-zero coefficients). That is the sparse
+//! structure Fig. 6 exhibits.
+//!
+//! The evaluation uses a stage-based analytic delay model (square-law
+//! on-currents, RC stage delays, subthreshold leakage, a smooth-max
+//! for the replica timing race) rather than a 20 000-device transient —
+//! see DESIGN.md for the substitution rationale. Every formula is
+//! smooth in every variable, as a circuit response is.
+
+use crate::variation::DeviceSigmas;
+use crate::PerformanceCircuit;
+
+/// Supply voltage (V).
+const VDD: f64 = 1.2;
+/// Nominal device threshold (V).
+const VTH: f64 = 0.35;
+/// Subthreshold slope parameter (V) for leakage.
+const V_SS: f64 = 0.045;
+/// Smooth-max temperature (s) for the replica timing race.
+const TAU_RACE: f64 = 2e-12;
+
+/// Number of named global factors.
+const NUM_GLOBALS: usize = 6;
+const G_VTH: usize = 0;
+const G_BETA: usize = 1;
+const G_CWIRE: usize = 2;
+const G_TEMP: usize = 3; // mobility-like global skew
+const G_LEAK: usize = 4;
+const G_CCELL: usize = 5;
+
+/// Read-path peripheral devices beyond the array: 4 WL drivers,
+/// 8 sense-amp devices, 2 precharge/mux — each with {ΔV_th, Δβ}.
+const NUM_DRIVERS: usize = 4;
+const NUM_SA: usize = 8;
+const NUM_MUX: usize = 2;
+const NUM_PERIPHERALS: usize = NUM_DRIVERS + NUM_SA + NUM_MUX;
+
+/// The SRAM read-path benchmark.
+///
+/// # Example
+///
+/// ```
+/// use rsm_circuits::{SramReadPath, PerformanceCircuit};
+/// let sram = SramReadPath::paper_scale();
+/// assert_eq!(sram.num_vars(), 21_310); // the paper's dimensionality
+/// let d = sram.evaluate(&vec![0.0; 21_310]);
+/// assert!(d[0] > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramReadPath {
+    rows: usize,
+    /// Data columns + 1 replica column.
+    cols: usize,
+    grid: usize,
+    /// Sigma set for array cells.
+    cell_sigmas: DeviceSigmas,
+    /// Sigma set for peripheral (larger) devices.
+    periph_sigmas: DeviceSigmas,
+    /// Leakage prefactor calibrated so nominal column leakage is ~2 %
+    /// of the cell read current.
+    i_leak0: f64,
+}
+
+impl SramReadPath {
+    /// The paper's configuration: 130 rows × (80 data + 1 replica)
+    /// columns, an 18 × 12 spatial grid, 21 310 variables total.
+    pub fn paper_scale() -> Self {
+        Self::with_geometry(130, 81, 216)
+    }
+
+    /// A reduced geometry for tests and quick experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0`, `cols < 2` (need at least one data and
+    /// the replica column) or `grid == 0`.
+    pub fn with_geometry(rows: usize, cols: usize, grid: usize) -> Self {
+        assert!(rows > 0, "need at least one row");
+        assert!(cols >= 2, "need a data column and the replica column");
+        assert!(grid > 0, "need at least one grid factor");
+        let cell_sigmas = DeviceSigmas::sram_cell_65nm();
+        let mut s = SramReadPath {
+            rows,
+            cols,
+            grid,
+            cell_sigmas,
+            periph_sigmas: DeviceSigmas::analog_65nm(),
+            i_leak0: 0.0,
+        };
+        // Calibrate leakage: Σ_{r≠0} I0·exp(−VTH/V_SS) = 2 % of I_read.
+        let i_read = s.on_current(1.0, 0.0, 0.0);
+        let per_cell = (-VTH / V_SS).exp();
+        s.i_leak0 = 0.02 * i_read / (per_cell * (rows - 1).max(1) as f64);
+        s
+    }
+
+    /// Geometry accessors.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns including the replica.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    // ---- variable indexing -------------------------------------------------
+
+    fn grid_base(&self) -> usize {
+        NUM_GLOBALS
+    }
+
+    fn cells_base(&self) -> usize {
+        NUM_GLOBALS + self.grid
+    }
+
+    fn periph_base(&self) -> usize {
+        self.cells_base() + 2 * self.rows * self.cols
+    }
+
+    /// Index of the ΔV_th factor of the cell at (`row`, `col`); its Δβ
+    /// factor is the next index.
+    pub fn cell_var(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.cells_base() + 2 * (col * self.rows + row)
+    }
+
+    /// Index of peripheral device `d`'s ΔV_th factor.
+    pub fn periph_var(&self, d: usize) -> usize {
+        debug_assert!(d < NUM_PERIPHERALS);
+        self.periph_base() + 2 * d
+    }
+
+    /// The replica column index.
+    pub fn replica_col(&self) -> usize {
+        self.cols - 1
+    }
+
+    /// Spatial grid factor index for a column.
+    fn grid_of_col(&self, col: usize) -> usize {
+        self.grid_base() + (col * self.grid) / self.cols
+    }
+
+    // ---- device models -----------------------------------------------------
+
+    /// Square-law on-current (normalized units: β_nom = 1 → I in
+    /// arbitrary consistent units; only ratios enter the delays).
+    fn on_current(&self, beta_rel: f64, dvth: f64, extra_vth: f64) -> f64 {
+        let vov = (VDD - VTH - dvth - extra_vth).max(0.05);
+        0.5 * beta_rel.max(0.05) * vov * vov
+    }
+
+    /// Cell parameter draw: global + spatial-grid + local mismatch.
+    fn cell_delta(&self, dy: &[f64], row: usize, col: usize) -> (f64, f64) {
+        let s = &self.cell_sigmas;
+        let g = dy[self.grid_of_col(col)];
+        let base = self.cell_var(row, col);
+        let dvth = s.vth_global * dy[G_VTH] + 0.4 * s.vth_global * g + s.vth_local * dy[base];
+        let dbeta =
+            s.beta_global * dy[G_BETA] + 0.4 * s.beta_global * g + s.beta_local * dy[base + 1];
+        (dvth, dbeta)
+    }
+
+    /// Peripheral parameter draw (no grid term: peripherals sit in one
+    /// corner of the macro).
+    fn periph_delta(&self, dy: &[f64], d: usize) -> (f64, f64) {
+        let s = &self.periph_sigmas;
+        let base = self.periph_var(d);
+        let dvth = s.vth_global * dy[G_VTH] + s.vth_local * dy[base];
+        let dbeta = s.beta_global * dy[G_BETA] + s.beta_local * dy[base + 1];
+        (dvth, dbeta)
+    }
+
+    /// Bit-line discharge time for one column: cap / (I_on − I_leak).
+    ///
+    /// `drive_scale` sizes the pull-down (the replica cell is doubled
+    /// for timing margin).
+    fn column_discharge(&self, dy: &[f64], col: usize, drive_scale: f64) -> f64 {
+        // Accessed cell: row 0.
+        let (dvth_a, dbeta_a) = self.cell_delta(dy, 0, col);
+        let i_on =
+            drive_scale * self.on_current(1.0 + dbeta_a, dvth_a, 0.0) * (1.0 + 0.02 * dy[G_TEMP]);
+        // Off cells: leakage plus capacitive loading.
+        let mut i_leak = 0.0;
+        let mut c_bl = 1.0 + 0.05 * dy[G_CWIRE]; // wire portion (normalized)
+        let per_cell_cap = 0.6 / self.rows as f64;
+        for row in 1..self.rows {
+            let (dvth, dbeta) = self.cell_delta(dy, row, col);
+            i_leak += self.i_leak0
+                * (-(VTH + dvth) / V_SS).exp()
+                * (1.0 + dbeta)
+                * (1.0 + 0.1 * dy[G_LEAK]);
+            c_bl += per_cell_cap * (1.0 + 0.03 * dbeta + 0.01 * dy[G_CCELL]);
+        }
+        // Accessed cell's own drain cap.
+        c_bl += per_cell_cap;
+        let i_net = (i_on - i_leak).max(0.05 * i_on);
+        // Unit calibration: nominal column discharge ≈ 120 ps.
+        const T_UNIT: f64 = 22e-12;
+        T_UNIT * c_bl * VDD / i_net
+    }
+
+    /// Inverter-chain delay (drivers d0..d3 or output buffer).
+    fn chain_delay(&self, dy: &[f64], first: usize, count: usize, t_stage: f64) -> f64 {
+        let mut t = 0.0;
+        for d in first..first + count {
+            let (dvth, dbeta) = self.periph_delta(dy, d);
+            let i_rel = self.on_current(1.0 + dbeta, dvth, 0.0) / self.on_current(1.0, 0.0, 0.0);
+            t += t_stage / i_rel * (1.0 + 0.02 * dy[G_TEMP]);
+        }
+        t
+    }
+
+    /// Sense-amp resolution delay: regenerative time constant plus a
+    /// fixed wire component; depends on the SA input pair and enable
+    /// devices.
+    fn sense_delay(&self, dy: &[f64]) -> f64 {
+        let mut t = 0.0;
+        for d in NUM_DRIVERS..NUM_DRIVERS + NUM_SA {
+            let (dvth, dbeta) = self.periph_delta(dy, d);
+            // gm-like dependence: τ ∝ 1/√(β·I) ~ 1/(β·(Vov)).
+            let vov = (VDD / 2.0 - VTH - dvth).max(0.05);
+            let gm_rel = (1.0 + dbeta).max(0.05) * vov / (VDD / 2.0 - VTH);
+            t += 8e-12 / gm_rel;
+        }
+        t
+    }
+
+    /// Column-mux / precharge contribution.
+    fn mux_delay(&self, dy: &[f64]) -> f64 {
+        let mut t = 0.0;
+        for d in NUM_DRIVERS + NUM_SA..NUM_PERIPHERALS {
+            let (dvth, dbeta) = self.periph_delta(dy, d);
+            let i_rel = self.on_current(1.0 + dbeta, dvth, 0.0) / self.on_current(1.0, 0.0, 0.0);
+            t += 6e-12 / i_rel;
+        }
+        t
+    }
+
+    /// Full read delay (seconds).
+    pub fn read_delay(&self, dy: &[f64]) -> f64 {
+        assert_eq!(
+            dy.len(),
+            self.num_vars(),
+            "SRAM expects {} variables",
+            self.num_vars()
+        );
+        // WL driver chain (4 stages, tapered).
+        let t_wl = self.chain_delay(dy, 0, NUM_DRIVERS, 18e-12);
+        // Data path: accessed column 0.
+        let t_bl = self.column_discharge(dy, 0, 1.0);
+        // Replica path: doubled replica cell, fires the sense enable.
+        let t_rep = 1.2 * self.column_discharge(dy, self.replica_col(), 2.0);
+        // The sense amp fires when BOTH the data is on the bit line and
+        // the replica-timed enable arrives: a smooth max models the race.
+        let a = t_wl + t_bl;
+        let b = t_wl + t_rep;
+        let m = a.max(b);
+        let race = m + TAU_RACE * (((a - m) / TAU_RACE).exp() + ((b - m) / TAU_RACE).exp()).ln();
+        race + self.sense_delay(dy) + self.mux_delay(dy) + self.buffer_tail(dy)
+    }
+
+    /// Output-buffer tail: two small stages in the same well as the
+    /// first WL driver; their variation reuses that device's factors
+    /// with a small weight.
+    fn buffer_tail(&self, dy: &[f64]) -> f64 {
+        let (dvth, _) = self.periph_delta(dy, 0);
+        12e-12 * (1.0 + 0.2 * dvth / VTH)
+    }
+}
+
+impl PerformanceCircuit for SramReadPath {
+    fn num_vars(&self) -> usize {
+        NUM_GLOBALS + self.grid + 2 * self.rows * self.cols + 2 * NUM_PERIPHERALS
+    }
+
+    fn metric_names(&self) -> &'static [&'static str] {
+        &["read_delay"]
+    }
+
+    fn evaluate(&self, dy: &[f64]) -> Vec<f64> {
+        vec![self.read_delay(dy)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsm_stats::{describe, NormalSampler};
+
+    #[test]
+    fn paper_scale_has_21310_variables() {
+        let s = SramReadPath::paper_scale();
+        assert_eq!(s.num_vars(), 21_310);
+    }
+
+    #[test]
+    fn nominal_delay_in_plausible_range() {
+        let s = SramReadPath::paper_scale();
+        let d = s.read_delay(&vec![0.0; s.num_vars()]);
+        assert!(d > 50e-12 && d < 2e-9, "delay {d}");
+    }
+
+    #[test]
+    fn on_path_cell_matters_strongly_off_column_not_at_all() {
+        let s = SramReadPath::with_geometry(16, 4, 4);
+        let n = s.num_vars();
+        let base = s.read_delay(&vec![0.0; n]);
+        // Accessed cell (row 0, col 0) Vth up → slower.
+        let mut dy = vec![0.0; n];
+        dy[s.cell_var(0, 0)] = 2.0;
+        let slow = s.read_delay(&dy);
+        assert!((slow - base) / base > 0.02, "accessed cell too weak");
+        // A cell in a non-accessed, non-replica column: exactly zero.
+        let mut dy2 = vec![0.0; n];
+        dy2[s.cell_var(3, 1)] = 3.0;
+        let same = s.read_delay(&dy2);
+        assert_eq!(same, base, "off-column cell must not affect delay");
+    }
+
+    #[test]
+    fn off_path_cell_in_accessed_column_matters_weakly() {
+        let s = SramReadPath::with_geometry(32, 4, 4);
+        let n = s.num_vars();
+        let base = s.read_delay(&vec![0.0; n]);
+        let mut dy = vec![0.0; n];
+        dy[s.cell_var(7, 0)] = 2.0; // off cell, accessed column
+        let d = s.read_delay(&dy);
+        let rel = (d - base).abs() / base;
+        assert!(rel > 0.0, "leakage/cap path missing");
+        assert!(rel < 0.01, "off cell too strong: {rel}");
+    }
+
+    #[test]
+    fn replica_column_affects_timing() {
+        let s = SramReadPath::with_geometry(16, 4, 4);
+        let n = s.num_vars();
+        let base = s.read_delay(&vec![0.0; n]);
+        let mut dy = vec![0.0; n];
+        dy[s.cell_var(0, s.replica_col())] = 2.0; // replica cell slower
+        let d = s.read_delay(&dy);
+        assert!(d > base, "replica slowdown must delay sense enable");
+    }
+
+    #[test]
+    fn driver_and_sense_amp_matter() {
+        let s = SramReadPath::with_geometry(16, 4, 4);
+        let n = s.num_vars();
+        let base = s.read_delay(&vec![0.0; n]);
+        for d in 0..NUM_PERIPHERALS {
+            let mut dy = vec![0.0; n];
+            dy[s.periph_var(d)] = 2.0;
+            let t = s.read_delay(&dy);
+            assert!(
+                (t - base).abs() / base > 1e-4,
+                "peripheral {d} has no effect"
+            );
+        }
+    }
+
+    #[test]
+    fn global_vth_slows_everything() {
+        let s = SramReadPath::with_geometry(16, 4, 4);
+        let n = s.num_vars();
+        let mut hi = vec![0.0; n];
+        hi[G_VTH] = 2.0;
+        let mut lo = vec![0.0; n];
+        lo[G_VTH] = -2.0;
+        assert!(s.read_delay(&hi) > s.read_delay(&lo));
+    }
+
+    #[test]
+    fn delay_distribution_is_reasonable() {
+        let s = SramReadPath::with_geometry(32, 8, 8);
+        let n = s.num_vars();
+        let mut rng = NormalSampler::seed_from_u64(5);
+        let delays: Vec<f64> = (0..2000)
+            .map(|_| s.read_delay(&rng.sample_vec(n)))
+            .collect();
+        let mean = describe::mean(&delays);
+        let cv = describe::std_dev(&delays) / mean;
+        assert!(delays.iter().all(|&d| d.is_finite() && d > 0.0));
+        // Variability should be a few percent — large enough to model,
+        // small enough to stay near-linear.
+        assert!(cv > 0.01 && cv < 0.25, "cv = {cv}");
+    }
+
+    #[test]
+    fn variable_count_formula() {
+        let s = SramReadPath::with_geometry(8, 4, 4);
+        assert_eq!(s.num_vars(), 6 + 4 + 2 * 8 * 4 + 2 * NUM_PERIPHERALS);
+        // Index layout is contiguous and in range.
+        assert!(s.cell_var(7, 3) < s.periph_var(0));
+        assert_eq!(s.periph_var(NUM_PERIPHERALS - 1) + 2, s.num_vars());
+    }
+
+    #[test]
+    #[should_panic(expected = "variables")]
+    fn wrong_dimension_panics() {
+        let s = SramReadPath::with_geometry(8, 4, 4);
+        let _ = s.read_delay(&[0.0; 3]);
+    }
+}

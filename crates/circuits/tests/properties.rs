@@ -1,0 +1,143 @@
+//! Property-based tests of the benchmark circuits: smoothness,
+//! determinism, monotone physical trends, and index-layout invariants
+//! over randomized variation samples.
+
+use proptest::prelude::*;
+use rsm_circuits::{OpAmp, PerformanceCircuit, SramReadPath};
+use rsm_stats::NormalSampler;
+
+fn sram() -> SramReadPath {
+    SramReadPath::with_geometry(16, 4, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sram_delay_finite_positive_everywhere(seed in 0u64..10_000) {
+        let s = sram();
+        let mut rng = NormalSampler::seed_from_u64(seed);
+        let dy = rng.sample_vec(s.num_vars());
+        let d = s.read_delay(&dy);
+        prop_assert!(d.is_finite() && d > 0.0, "delay {d}");
+        // Deterministic.
+        prop_assert_eq!(d.to_bits(), s.read_delay(&dy).to_bits());
+    }
+
+    #[test]
+    fn sram_accessed_cell_vth_monotone(seed in 0u64..10_000, bump in 0.1f64..2.0) {
+        // Raising the accessed cell's threshold can only slow the read,
+        // whatever the background variation.
+        let s = sram();
+        let mut rng = NormalSampler::seed_from_u64(seed);
+        let mut dy = rng.sample_vec(s.num_vars());
+        // Keep the background mild so the accessed cell stays dominant.
+        for v in &mut dy {
+            *v = v.clamp(-1.5, 1.5);
+        }
+        let base = s.read_delay(&dy);
+        dy[s.cell_var(0, 0)] += bump;
+        let slower = s.read_delay(&dy);
+        prop_assert!(slower >= base, "{slower} < {base}");
+    }
+
+    #[test]
+    fn sram_off_column_cells_are_exactly_irrelevant(
+        seed in 0u64..10_000,
+        row in 1usize..16,
+        val in -3.0f64..3.0,
+    ) {
+        let s = sram();
+        let mut rng = NormalSampler::seed_from_u64(seed);
+        let dy = rng.sample_vec(s.num_vars());
+        let base = s.read_delay(&dy);
+        // Column 1 is neither accessed (0) nor replica (3).
+        let mut dy2 = dy.clone();
+        dy2[s.cell_var(row, 1)] = val;
+        dy2[s.cell_var(row, 1) + 1] = -val;
+        prop_assert_eq!(base.to_bits(), s.read_delay(&dy2).to_bits());
+    }
+
+    #[test]
+    fn sram_delay_locally_smooth(seed in 0u64..10_000) {
+        // Directional finite differences at two nearby scales must
+        // agree — no kinks from the smooth-max or clamps at typical
+        // operating points.
+        let s = sram();
+        let mut rng = NormalSampler::seed_from_u64(seed);
+        let mut dy = rng.sample_vec(s.num_vars());
+        for v in &mut dy {
+            *v = v.clamp(-2.0, 2.0);
+        }
+        let dir_idx = s.cell_var(0, 0);
+        let f = |x: f64, dy: &mut Vec<f64>| -> f64 {
+            let old = dy[dir_idx];
+            dy[dir_idx] = x;
+            let d = s.read_delay(dy);
+            dy[dir_idx] = old;
+            d
+        };
+        let x0 = dy[dir_idx];
+        let g1 = (f(x0 + 1e-4, &mut dy) - f(x0 - 1e-4, &mut dy)) / 2e-4;
+        let g2 = (f(x0 + 1e-5, &mut dy) - f(x0 - 1e-5, &mut dy)) / 2e-5;
+        prop_assert!(
+            (g1 - g2).abs() <= 1e-3 * (1.0 + g1.abs().max(g2.abs())),
+            "gradient estimates disagree: {g1} vs {g2}"
+        );
+    }
+}
+
+#[test]
+fn opamp_is_deterministic_and_smooth_in_mismatch() {
+    let amp = OpAmp::new();
+    let n = amp.num_vars();
+    let mut rng = NormalSampler::seed_from_u64(3);
+    let dy: Vec<f64> = rng
+        .sample_vec(n)
+        .iter()
+        .map(|v| v.clamp(-2.0, 2.0))
+        .collect();
+    let a = amp.evaluate(&dy);
+    let b = amp.evaluate(&dy);
+    assert_eq!(a, b, "OpAmp evaluation must be deterministic");
+    // Small input change → small metric change (no chaotic behaviour).
+    let mut dy2 = dy.clone();
+    dy2[6] += 1e-4;
+    let c = amp.evaluate(&dy2);
+    for (i, (x, y)) in a.iter().zip(&c).enumerate() {
+        let rel = (x - y).abs() / (x.abs().max(1e-12));
+        assert!(rel < 0.01, "metric {i} jumped by {rel} for a 1e-4 nudge");
+    }
+}
+
+#[test]
+fn sram_variable_indices_form_a_partition() {
+    // cell_var / periph_var must tile [NUM_GLOBALS+grid, num_vars)
+    // without overlap.
+    let s = SramReadPath::with_geometry(8, 3, 4);
+    let mut seen = vec![false; s.num_vars()];
+    for col in 0..3 {
+        for row in 0..8 {
+            let v = s.cell_var(row, col);
+            for idx in [v, v + 1] {
+                assert!(!seen[idx], "cell index {idx} reused");
+                seen[idx] = true;
+            }
+        }
+    }
+    for d in 0..14 {
+        let v = s.periph_var(d);
+        for idx in [v, v + 1] {
+            assert!(!seen[idx], "peripheral index {idx} reused");
+            seen[idx] = true;
+        }
+    }
+    // Globals + grid occupy the untouched prefix.
+    let unused: Vec<usize> = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| !s)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(unused, (0..10).collect::<Vec<_>>()); // 6 globals + 4 grid
+}

@@ -1,0 +1,480 @@
+//! Implementation of the `rsm` command-line tool (see `main.rs` for
+//! the usage synopsis). The argument parser is hand-rolled (no external
+//! CLI crates) and every subcommand is a pure function from parsed
+//! arguments + file contents to output text, so the whole tool is unit-
+//! testable without spawning processes.
+
+// Numerical kernels index several parallel arrays inside one loop;
+// iterator-zip rewrites obscure the math, so the range-loop lint is
+// disabled crate-wide.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod csv;
+
+use rsm_basis::{Dictionary, DictionaryKind};
+use rsm_core::select::CvConfig;
+use rsm_core::{codegen, solver, Method, ModelOrder, SparseModel};
+use rsm_stats::metrics::relative_error;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A fitted model bundle as persisted by `rsm fit` (JSON).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Input column names, in the order the model expects.
+    pub input_columns: Vec<String>,
+    /// Response column name.
+    pub response: String,
+    /// Basis family: `"linear"` or `"quadratic"`.
+    pub basis: String,
+    /// Method used.
+    pub method: String,
+    /// Chosen model order.
+    pub lambda: usize,
+    /// In-sample relative error.
+    pub train_error: f64,
+    /// The sparse coefficients.
+    pub model: SparseModel,
+}
+
+impl ModelBundle {
+    /// Reconstructs the dictionary this bundle was fit over.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for an unknown basis name.
+    pub fn dictionary(&self) -> Result<Dictionary, String> {
+        let kind = match self.basis.as_str() {
+            "linear" => DictionaryKind::Linear,
+            "quadratic" => DictionaryKind::Quadratic,
+            other => return Err(format!("unknown basis '{other}' in model file")),
+        };
+        Ok(Dictionary::new(self.input_columns.len(), kind))
+    }
+}
+
+/// Parsed command-line options: `--key value` pairs plus positionals.
+#[derive(Debug, Default)]
+struct Options {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut out = Options::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} requires a value"))?;
+                if out.flags.insert(key.to_string(), val.clone()).is_some() {
+                    return Err(format!("--{key} given twice"));
+                }
+            } else {
+                out.positional.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    fn optional(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+}
+
+const USAGE: &str = "\
+rsm — sparse response-surface modeling (OMP / LAR / STAR / LS)
+
+USAGE:
+  rsm fit --input <samples.csv> --response <column> [--method omp|lar|star|ls]
+          [--basis linear|quadratic] [--lambda-max N] [--lambda N]
+          [--model out.json] [--emit-c out.c] [--emit-veriloga out.va]
+  rsm predict --model <model.json> --input <samples.csv> [--output pred.csv]
+  rsm info --model <model.json>
+  rsm help
+
+The CSV has one sample per row; every column except the response is a
+variation variable. A header row is auto-detected.
+";
+
+/// Runs the CLI against already-split arguments, returning the stdout
+/// text.
+///
+/// # Errors
+///
+/// Returns a human-readable error string (printed to stderr with a
+/// nonzero exit by `main`).
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(USAGE.to_string());
+    };
+    let opts = Options::parse(&args[1..])?;
+    match cmd.as_str() {
+        "fit" => cmd_fit(&opts),
+        "predict" => cmd_predict(&opts),
+        "info" => cmd_info(&opts),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write_file(path: &str, content: &str) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn cmd_fit(opts: &Options) -> Result<String, String> {
+    let input = opts.required("input")?;
+    let response = opts.required("response")?;
+    let method = match opts.optional("method").unwrap_or("omp") {
+        "omp" => Method::Omp,
+        "lar" => Method::Lar,
+        "star" => Method::Star,
+        "ls" => Method::Ls,
+        other => return Err(format!("unknown method '{other}' (omp|lar|star|ls)")),
+    };
+    let basis = opts.optional("basis").unwrap_or("linear");
+    let kind = match basis {
+        "linear" => DictionaryKind::Linear,
+        "quadratic" => DictionaryKind::Quadratic,
+        other => return Err(format!("unknown basis '{other}' (linear|quadratic)")),
+    };
+
+    let table = csv::Table::parse(&read_file(input)?).map_err(|e| e.to_string())?;
+    let (inputs, f) = table.split_response(response).map_err(|e| e.to_string())?;
+    let ri = table.column_index(response).map_err(|e| e.to_string())?;
+    let input_columns: Vec<String> = table
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != ri)
+        .map(|(_, c)| c.clone())
+        .collect();
+
+    let dict = Dictionary::new(inputs.cols(), kind);
+    let g = dict.design_matrix(&inputs);
+    let order = if let Some(l) = opts.optional("lambda") {
+        ModelOrder::Fixed(l.parse().map_err(|_| "--lambda must be an integer")?)
+    } else {
+        let lmax: usize = opts
+            .optional("lambda-max")
+            .unwrap_or("50")
+            .parse()
+            .map_err(|_| "--lambda-max must be an integer")?;
+        ModelOrder::CrossValidated(CvConfig::new(lmax))
+    };
+    let report = solver::fit(&g, &f, method, &order).map_err(|e| e.to_string())?;
+    let train_error = relative_error(&report.model.predict_matrix(&g), &f);
+
+    let bundle = ModelBundle {
+        input_columns,
+        response: response.to_string(),
+        basis: basis.to_string(),
+        method: report.method.name().to_string(),
+        lambda: report.lambda,
+        train_error,
+        model: report.model.clone(),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fit {}: K = {}, N = {}, M = {} bases, λ = {}, {} non-zeros, in-sample error {:.2}%",
+        report.method.name(),
+        g.rows(),
+        inputs.cols(),
+        dict.len(),
+        report.lambda,
+        bundle.model.num_nonzeros(),
+        train_error * 100.0
+    );
+    if let Some(cv) = &report.cv {
+        let _ = writeln!(
+            out,
+            "cross-validation: best λ = {} at ε = {:.2}%",
+            cv.best_lambda,
+            cv.best_error * 100.0
+        );
+    }
+    if let Some(path) = opts.optional("model") {
+        let json = serde_json::to_string_pretty(&bundle).map_err(|e| e.to_string())?;
+        write_file(path, &json)?;
+        let _ = writeln!(out, "model written to {path}");
+    }
+    if let Some(path) = opts.optional("emit-c") {
+        let src = codegen::to_c(&bundle.model, &dict, "rsm_model").map_err(|e| e.to_string())?;
+        write_file(path, &src)?;
+        let _ = writeln!(out, "C source written to {path}");
+    }
+    if let Some(path) = opts.optional("emit-veriloga") {
+        let src =
+            codegen::to_veriloga(&bundle.model, &dict, "rsm_model").map_err(|e| e.to_string())?;
+        write_file(path, &src)?;
+        let _ = writeln!(out, "Verilog-A source written to {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_predict(opts: &Options) -> Result<String, String> {
+    let bundle: ModelBundle = serde_json::from_str(&read_file(opts.required("model")?)?)
+        .map_err(|e| format!("malformed model file: {e}"))?;
+    let dict = bundle.dictionary()?;
+    let table =
+        csv::Table::parse(&read_file(opts.required("input")?)?).map_err(|e| e.to_string())?;
+    // Accept either exactly the input columns (by name) or, for
+    // headerless files, the right column count in order.
+    let inputs = if table.columns.iter().any(|c| c.starts_with('c'))
+        && bundle
+            .input_columns
+            .iter()
+            .all(|c| !table.columns.contains(c))
+    {
+        if table.data.cols() != bundle.input_columns.len() {
+            return Err(format!(
+                "expected {} input columns, found {}",
+                bundle.input_columns.len(),
+                table.data.cols()
+            ));
+        }
+        table.data.clone()
+    } else {
+        let idx: Vec<usize> = bundle
+            .input_columns
+            .iter()
+            .map(|c| table.column_index(c).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        table.data.select_cols(&idx)
+    };
+    let pred: Vec<f64> = (0..inputs.rows())
+        .map(|r| bundle.model.predict_point(&dict, inputs.row(r)))
+        .collect();
+    let pred_matrix =
+        rsm_linalg::Matrix::from_vec(pred.len(), 1, pred.clone()).expect("column vector");
+    let text = csv::write_csv(&[format!("{}_pred", bundle.response)], &pred_matrix);
+    if let Some(path) = opts.optional("output") {
+        write_file(path, &text)?;
+        Ok(format!("{} predictions written to {path}\n", pred.len()))
+    } else {
+        Ok(text)
+    }
+}
+
+fn cmd_info(opts: &Options) -> Result<String, String> {
+    let bundle: ModelBundle = serde_json::from_str(&read_file(opts.required("model")?)?)
+        .map_err(|e| format!("malformed model file: {e}"))?;
+    let dict = bundle.dictionary()?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model: {} over {} basis ({} inputs, M = {}), method {}, λ = {}, train error {:.2}%",
+        bundle.response,
+        bundle.basis,
+        bundle.input_columns.len(),
+        dict.len(),
+        bundle.method,
+        bundle.lambda,
+        bundle.train_error * 100.0
+    );
+    let (mean, var) = bundle.model.response_moments();
+    let _ = writeln!(
+        out,
+        "response moments under N(0,I): mean {mean:.6e}, sigma {:.6e}",
+        var.sqrt()
+    );
+    out.push_str(&bundle.model.describe(&dict));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsm_stats::NormalSampler;
+
+    /// Builds a small sparse CSV dataset in a temp dir; returns
+    /// (dir, csv_path).
+    fn sample_csv(k: usize, seed: u64) -> (std::path::PathBuf, String) {
+        let dir = std::env::temp_dir().join(format!("rsm_cli_test_{seed}_{k}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut rng = NormalSampler::seed_from_u64(seed);
+        let mut text = String::from("x0,x1,x2,x3,x4,delay\n");
+        for _ in 0..k {
+            let x = rng.sample_vec(5);
+            let y = 3.0 + 2.0 * x[1] - 1.5 * x[3] + 0.02 * rng.sample();
+            let row: Vec<String> = x.iter().map(|v| format!("{v}")).collect();
+            text.push_str(&format!("{},{y}\n", row.join(",")));
+        }
+        let path = dir.join("samples.csv");
+        std::fs::write(&path, text).unwrap();
+        (dir, path.to_string_lossy().into_owned())
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&s(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn option_parsing_errors() {
+        assert!(run(&s(&["fit", "--input"])).is_err()); // missing value
+        assert!(run(&s(&["fit"])).is_err()); // missing required
+        assert!(run(&s(&["fit", "--input", "a", "--input", "b"])).is_err()); // dup
+    }
+
+    #[test]
+    fn fit_info_predict_roundtrip() {
+        let (dir, csv_path) = sample_csv(120, 1);
+        let model_path = dir.join("model.json").to_string_lossy().into_owned();
+        let out = run(&s(&[
+            "fit",
+            "--input",
+            &csv_path,
+            "--response",
+            "delay",
+            "--method",
+            "omp",
+            "--lambda-max",
+            "10",
+            "--model",
+            &model_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("fit OMP"), "{out}");
+        assert!(out.contains("model written"), "{out}");
+
+        let info = run(&s(&["info", "--model", &model_path])).unwrap();
+        assert!(info.contains("method OMP"), "{info}");
+        assert!(info.contains("x1") || info.contains("y1"), "{info}");
+
+        // Predict on the training file and check accuracy inline.
+        let pred_text = run(&s(&[
+            "predict",
+            "--model",
+            &model_path,
+            "--input",
+            &csv_path,
+        ]))
+        .unwrap();
+        let pred = csv::Table::parse(&pred_text).unwrap();
+        let truth = csv::Table::parse(&std::fs::read_to_string(&csv_path).unwrap()).unwrap();
+        let y = truth.data.col(5);
+        let e = relative_error(&pred.data.col(0), &y);
+        assert!(e < 0.05, "prediction error {e}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn fit_emits_c_and_veriloga() {
+        let (dir, csv_path) = sample_csv(80, 2);
+        let c_path = dir.join("m.c").to_string_lossy().into_owned();
+        let va_path = dir.join("m.va").to_string_lossy().into_owned();
+        run(&s(&[
+            "fit",
+            "--input",
+            &csv_path,
+            "--response",
+            "delay",
+            "--lambda",
+            "3",
+            "--emit-c",
+            &c_path,
+            "--emit-veriloga",
+            &va_path,
+        ]))
+        .unwrap();
+        let c_src = std::fs::read_to_string(&c_path).unwrap();
+        assert!(c_src.contains("double rsm_model(const double *dy)"));
+        let va_src = std::fs::read_to_string(&va_path).unwrap();
+        assert!(va_src.contains("analog function real rsm_model"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn fit_ls_requires_enough_samples() {
+        let (dir, csv_path) = sample_csv(4, 3); // K = 4 < M = 6
+        let err = run(&s(&[
+            "fit",
+            "--input",
+            &csv_path,
+            "--response",
+            "delay",
+            "--method",
+            "ls",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("K >= M"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn quadratic_basis_fit() {
+        let (dir, csv_path) = sample_csv(150, 4);
+        let out = run(&s(&[
+            "fit",
+            "--input",
+            &csv_path,
+            "--response",
+            "delay",
+            "--basis",
+            "quadratic",
+            "--lambda-max",
+            "12",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("M = 21 bases") || out.contains("M = 21"),
+            "{out}"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(run(&s(&[
+            "fit",
+            "--input",
+            "/nonexistent.csv",
+            "--response",
+            "y"
+        ]))
+        .unwrap_err()
+        .contains("cannot read"));
+        let (dir, csv_path) = sample_csv(20, 5);
+        assert!(
+            run(&s(&["fit", "--input", &csv_path, "--response", "nope"]))
+                .unwrap_err()
+                .contains("no column")
+        );
+        assert!(run(&s(&[
+            "fit",
+            "--input",
+            &csv_path,
+            "--response",
+            "delay",
+            "--method",
+            "magic"
+        ]))
+        .unwrap_err()
+        .contains("unknown method"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

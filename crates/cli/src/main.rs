@@ -1,0 +1,32 @@
+//! `rsm` — command-line sparse response-surface modeling.
+//!
+//! Fit the paper's solvers to your own simulator data (any CSV of
+//! variation samples + a response column), validate, and export the
+//! model:
+//!
+//! ```text
+//! rsm fit --input samples.csv --response delay --method omp \
+//!         --basis quadratic --lambda-max 80 --model model.json \
+//!         [--emit-c model.c] [--emit-veriloga model.va]
+//! rsm predict --model model.json --input new_samples.csv --output pred.csv
+//! rsm info --model model.json
+//! ```
+//!
+//! Everything the subcommands do is a thin composition of the library
+//! crates; see `lib.rs` for the testable implementation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rsm_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

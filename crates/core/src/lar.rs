@@ -1,0 +1,464 @@
+//! Least angle regression (LARS) — the algorithm of the DAC 2009 paper,
+//! after Efron, Hastie, Johnstone & Tibshirani (2004).
+//!
+//! LAR relaxes the L0 constraint of Eq. (11) to an L1 constraint and
+//! follows the piecewise-linear solution path: at each breakpoint the
+//! coefficient estimate moves along the *equiangular* direction of the
+//! active set — the direction making equal angles with every active
+//! basis vector — exactly until some inactive vector becomes equally
+//! correlated with the residual, which then joins the active set.
+//!
+//! The optional **lasso modification** drops an active variable the
+//! moment its coefficient crosses zero, making the path coincide with
+//! the L1-penalized regression path.
+//!
+//! Predictors are normalized internally to unit column norm (the
+//! algorithm's equal-angle geometry assumes it); reported coefficients
+//! are rescaled back to the caller's dictionary.
+
+use crate::model::SparseModel;
+use crate::path::SparsePath;
+use crate::{CoreError, Result};
+use rsm_linalg::cholesky::GrowingCholesky;
+use rsm_linalg::vec_ops::{axpy, dot, norm2};
+use rsm_linalg::Matrix;
+
+/// LARS configuration.
+#[derive(Debug, Clone)]
+pub struct LarConfig {
+    /// Maximum number of path steps (≈ the paper's `λ`: each non-drop
+    /// step activates one basis function).
+    pub max_steps: usize,
+    /// Enable the lasso modification (drop variables whose coefficient
+    /// hits zero).
+    pub lasso: bool,
+    /// Stop when the maximal absolute correlation falls below
+    /// `rel_tol · ‖F‖₂`.
+    pub rel_tol: f64,
+}
+
+impl LarConfig {
+    /// Plain LARS with at most `max_steps` activations.
+    pub fn new(max_steps: usize) -> Self {
+        LarConfig {
+            max_steps,
+            lasso: false,
+            rel_tol: 1e-12,
+        }
+    }
+
+    /// Enables the lasso variant.
+    pub fn with_lasso(mut self) -> Self {
+        self.lasso = true;
+        self
+    }
+
+    /// Runs LARS on `G·α = F`, returning the solution path.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::ShapeMismatch`] if `f.len() != g.rows()`;
+    /// - [`CoreError::BadConfig`] if `max_steps == 0`;
+    /// - [`CoreError::Numerical`] if the active-set Gram factorization
+    ///   breaks down irrecoverably.
+    pub fn fit(&self, g: &Matrix, f: &[f64]) -> Result<SparsePath> {
+        let (k, m) = g.shape();
+        if f.len() != k {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("response of length {k}"),
+                found: format!("length {}", f.len()),
+            });
+        }
+        if self.max_steps == 0 {
+            return Err(CoreError::BadConfig("max_steps must be at least 1".into()));
+        }
+        if f.iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::BadConfig(
+                "response vector contains non-finite values".into(),
+            ));
+        }
+        let f_norm = norm2(f);
+        if f_norm == 0.0 {
+            return Ok(SparsePath::new(m, vec![SparseModel::zero(m)], vec![0.0]));
+        }
+        // Column norms for internal normalization.
+        let mut col_norms = vec![0.0f64; m];
+        for r in 0..k {
+            let row = g.row(r);
+            for (j, &v) in row.iter().enumerate() {
+                col_norms[j] += v * v;
+            }
+        }
+        let mut excluded = vec![false; m];
+        for (j, n) in col_norms.iter_mut().enumerate() {
+            *n = n.sqrt();
+            if *n <= 1e-300 {
+                excluded[j] = true;
+            }
+        }
+        let fetch_col = |j: usize| -> Vec<f64> {
+            let mut c = g.col(j);
+            let inv = 1.0 / col_norms[j];
+            for v in &mut c {
+                *v *= inv;
+            }
+            c
+        };
+
+        // State.
+        let mut mu = vec![0.0; k]; // current fit X·β
+        let mut c: Vec<f64> = {
+            // c = Xᵀ f with column normalization.
+            let mut c = g.matvec_t(f)?;
+            for (j, v) in c.iter_mut().enumerate() {
+                *v /= col_norms[j].max(1e-300);
+            }
+            c
+        };
+        let mut active: Vec<usize> = Vec::new();
+        let mut in_active = vec![false; m];
+        let mut beta = vec![0.0f64; m]; // normalized-coordinates coefficients
+        let mut chol = GrowingCholesky::new();
+        let mut active_cols: Vec<Vec<f64>> = Vec::new();
+        let mut snapshots = Vec::new();
+        let mut residual_norms = Vec::new();
+        let tol = self.rel_tol * f_norm;
+
+        let max_active = self.max_steps.min(k.saturating_sub(0)).min(m);
+        let mut steps = 0usize;
+        while steps < self.max_steps {
+            // Maximal absolute correlation among non-active columns.
+            let mut cmax = 0.0f64;
+            let mut jbest: Option<usize> = None;
+            for j in 0..m {
+                if in_active[j] || excluded[j] {
+                    continue;
+                }
+                let a = c[j].abs();
+                if a > cmax {
+                    cmax = a;
+                    jbest = Some(j);
+                }
+            }
+            // Activate the winner (unless we're saturated).
+            if active.len() < max_active {
+                match jbest {
+                    Some(j) if cmax > tol => {
+                        let col = fetch_col(j);
+                        let cross: Vec<f64> = active_cols.iter().map(|ac| dot(ac, &col)).collect();
+                        match chol.push(&cross, 1.0) {
+                            Ok(()) => {
+                                active.push(j);
+                                in_active[j] = true;
+                                active_cols.push(col);
+                            }
+                            Err(_) => {
+                                excluded[j] = true;
+                                continue; // try the next-best column
+                            }
+                        }
+                    }
+                    _ => break, // nothing informative left
+                }
+            } else if active.is_empty() {
+                break;
+            }
+            steps += 1;
+
+            // Equiangular direction.
+            let signs: Vec<f64> = active.iter().map(|&j| c[j].signum()).collect();
+            let w_raw = chol.solve(&signs)?;
+            let s_dot_w = dot(&signs, &w_raw);
+            if s_dot_w <= 0.0 {
+                return Err(CoreError::Numerical(
+                    "LARS equiangular normalization failed (Gram not PD)".into(),
+                ));
+            }
+            let a_a = 1.0 / s_dot_w.sqrt();
+            let w: Vec<f64> = w_raw.iter().map(|v| v * a_a).collect();
+            // u = X_A·w ; a = Xᵀ·u.
+            let mut u = vec![0.0; k];
+            for (ac, &wj) in active_cols.iter().zip(&w) {
+                axpy(wj, ac, &mut u);
+            }
+            let mut a_vec = g.matvec_t(&u)?;
+            for (j, v) in a_vec.iter_mut().enumerate() {
+                *v /= col_norms[j].max(1e-300);
+            }
+            // Correlation level inside the active set.
+            let c_level = active.iter().map(|&j| c[j].abs()).fold(0.0f64, f64::max);
+
+            // Step length to the next activation event.
+            let mut gamma = c_level / a_a; // full step (last-variable case)
+            for j in 0..m {
+                if in_active[j] || excluded[j] {
+                    continue;
+                }
+                for cand in [
+                    (c_level - c[j]) / (a_a - a_vec[j]),
+                    (c_level + c[j]) / (a_a + a_vec[j]),
+                ] {
+                    if cand > 1e-14 && cand < gamma {
+                        gamma = cand;
+                    }
+                }
+            }
+            // Lasso: step length to the first zero crossing.
+            let mut drop_idx: Option<usize> = None;
+            if self.lasso {
+                for (pos, (&j, &wj)) in active.iter().zip(&w).enumerate() {
+                    if wj != 0.0 {
+                        let gd = -beta[j] / wj;
+                        if gd > 1e-14 && gd < gamma {
+                            gamma = gd;
+                            drop_idx = Some(pos);
+                        }
+                    }
+                }
+            }
+
+            // Advance.
+            for ((&j, &wj), _) in active.iter().zip(&w).zip(0..) {
+                beta[j] += gamma * wj;
+            }
+            axpy(gamma, &u, &mut mu);
+            for (cj, aj) in c.iter_mut().zip(&a_vec) {
+                *cj -= gamma * aj;
+            }
+
+            // Handle a lasso drop: remove the variable and rebuild the
+            // Cholesky over the remaining active columns.
+            if let Some(pos) = drop_idx {
+                let j = active.remove(pos);
+                in_active[j] = false;
+                beta[j] = 0.0;
+                active_cols.remove(pos);
+                chol = GrowingCholesky::new();
+                let mut rebuilt = true;
+                for p in 0..active_cols.len() {
+                    let cross: Vec<f64> = (0..p)
+                        .map(|q| dot(&active_cols[q], &active_cols[p]))
+                        .collect();
+                    if chol.push(&cross, 1.0).is_err() {
+                        rebuilt = false;
+                        break;
+                    }
+                }
+                if !rebuilt {
+                    return Err(CoreError::Numerical(
+                        "LARS active-set refactorization failed after drop".into(),
+                    ));
+                }
+            }
+
+            // Record a snapshot in the caller's (unnormalized) scale.
+            let coeffs: Vec<(usize, f64)> = active
+                .iter()
+                .map(|&j| (j, beta[j] / col_norms[j]))
+                .collect();
+            snapshots.push(SparseModel::new(m, coeffs));
+            let res: Vec<f64> = f.iter().zip(&mu).map(|(a, b)| a - b).collect();
+            residual_norms.push(norm2(&res));
+
+            // Converged: correlations exhausted.
+            let remaining = c
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| !excluded[j])
+                .map(|(_, v)| v.abs())
+                .fold(0.0f64, f64::max);
+            if remaining <= tol {
+                break;
+            }
+            if active.len() >= max_active && !self.lasso {
+                // One final full-length step was just taken.
+                break;
+            }
+        }
+        if snapshots.is_empty() {
+            return Err(CoreError::Unsolvable(
+                "no informative basis vector found".into(),
+            ));
+        }
+        Ok(SparsePath::new(m, snapshots, residual_norms))
+    }
+}
+
+/// Convenience: plain LARS returning the model after `lambda` steps.
+///
+/// # Errors
+///
+/// As [`LarConfig::fit`].
+pub fn fit(g: &Matrix, f: &[f64], lambda: usize) -> Result<SparseModel> {
+    Ok(LarConfig::new(lambda).fit(g, f)?.final_model().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsm_stats::metrics::relative_error;
+    use rsm_stats::NormalSampler;
+
+    fn sparse_problem(
+        k: usize,
+        m: usize,
+        truth: &[(usize, f64)],
+        noise: f64,
+        seed: u64,
+    ) -> (Matrix, Vec<f64>) {
+        let mut s = NormalSampler::seed_from_u64(seed);
+        let g = Matrix::from_fn(k, m, |_, _| s.sample());
+        let mut f = vec![0.0; k];
+        for &(j, v) in truth {
+            for r in 0..k {
+                f[r] += v * g[(r, j)];
+            }
+        }
+        for fr in &mut f {
+            *fr += noise * s.sample();
+        }
+        (g, f)
+    }
+
+    #[test]
+    fn recovers_sparse_truth() {
+        let truth = [(3usize, 4.0), (20, -2.5), (55, 1.0)];
+        let (g, f) = sparse_problem(80, 120, &truth, 0.0, 21);
+        let path = LarConfig::new(10).fit(&g, &f).unwrap();
+        let model = path.final_model();
+        let pred = model.predict_matrix(&g);
+        assert!(relative_error(&pred, &f) < 1e-6);
+        // The true support must be inside the selected support.
+        let support = model.support();
+        for (j, _) in truth {
+            assert!(support.contains(&j), "missing true atom {j}");
+        }
+    }
+
+    #[test]
+    fn correlations_tie_along_path() {
+        // The defining LARS property: after each step, all active
+        // variables share the same absolute correlation with the
+        // residual, and it upper-bounds every inactive correlation.
+        let truth = [(2usize, 3.0), (10, -1.5), (31, 2.0), (47, -1.0)];
+        let (g, f) = sparse_problem(100, 60, &truth, 0.05, 22);
+        let path = LarConfig::new(6).fit(&g, &f).unwrap();
+        // Normalized columns.
+        let mut norms = vec![0.0; 60];
+        for j in 0..60 {
+            norms[j] = norm2(&g.col(j));
+        }
+        for (lambda, model) in path.iter() {
+            let pred = model.predict_matrix(&g);
+            let res: Vec<f64> = f.iter().zip(&pred).map(|(a, b)| a - b).collect();
+            let corrs: Vec<f64> = (0..60)
+                .map(|j| dot(&g.col(j), &res).abs() / norms[j])
+                .collect();
+            let support = model.support();
+            if support.is_empty() {
+                continue;
+            }
+            let active_corr: Vec<f64> = support.iter().map(|&j| corrs[j]).collect();
+            let cmax = active_corr.iter().fold(0.0f64, |m, &v| m.max(v));
+            let cmin = active_corr.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+            assert!(
+                cmax - cmin < 1e-8 * (1.0 + cmax),
+                "step {lambda}: active correlations differ: {active_corr:?}"
+            );
+            for (j, &corr) in corrs.iter().enumerate() {
+                if !support.contains(&j) {
+                    assert!(
+                        corr <= cmax + 1e-8 * (1.0 + cmax),
+                        "step {lambda}: inactive {j} exceeds active level"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residuals_decrease_along_path() {
+        let truth = [(1usize, 2.0), (9, 1.0)];
+        let (g, f) = sparse_problem(50, 30, &truth, 0.1, 23);
+        let path = LarConfig::new(8).fit(&g, &f).unwrap();
+        for w in path.residual_norms().windows(2) {
+            assert!(w[1] <= w[0] + 1e-10);
+        }
+    }
+
+    #[test]
+    fn active_set_grows_by_one_per_step_without_lasso() {
+        let truth = [(0usize, 1.0), (5, -2.0), (12, 0.5)];
+        let (g, f) = sparse_problem(40, 20, &truth, 0.02, 24);
+        let path = LarConfig::new(5).fit(&g, &f).unwrap();
+        for (lambda, model) in path.iter() {
+            assert!(model.num_nonzeros() <= lambda);
+        }
+    }
+
+    #[test]
+    fn lasso_variant_reaches_same_fit_on_easy_problem() {
+        let truth = [(4usize, 3.0), (15, -2.0)];
+        let (g, f) = sparse_problem(60, 25, &truth, 0.0, 25);
+        let plain = LarConfig::new(10).fit(&g, &f).unwrap();
+        let lasso = LarConfig::new(30).with_lasso().fit(&g, &f).unwrap();
+        let ep = relative_error(&plain.final_model().predict_matrix(&g), &f);
+        let el = relative_error(&lasso.final_model().predict_matrix(&g), &f);
+        assert!(ep < 1e-6, "plain {ep}");
+        assert!(el < 1e-6, "lasso {el}");
+    }
+
+    #[test]
+    fn lasso_coefficients_never_cross_zero_sign() {
+        // Along the lasso path, an active coefficient's sign matches its
+        // correlation sign (a crossing forces a drop instead).
+        let truth = [(2usize, 1.0), (7, -1.0), (11, 0.8), (17, -0.6)];
+        let (g, f) = sparse_problem(35, 20, &truth, 0.3, 26);
+        let path = LarConfig::new(40).with_lasso().fit(&g, &f).unwrap();
+        for (_, model) in path.iter() {
+            let pred = model.predict_matrix(&g);
+            let res: Vec<f64> = f.iter().zip(&pred).map(|(a, b)| a - b).collect();
+            for &(j, coef) in model.coefficients() {
+                let corr = dot(&g.col(j), &res);
+                // Sign consistency (allowing the just-hit-zero moment).
+                if coef.abs() > 1e-10 && corr.abs() > 1e-8 {
+                    assert!(
+                        coef.signum() == corr.signum(),
+                        "coef {coef} vs corr {corr} at atom {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn underdetermined_system_is_fine() {
+        // K = 30 samples, M = 200 unknowns — the paper's regime.
+        let truth = [(10usize, 5.0), (100, -3.0), (150, 2.0)];
+        let (g, f) = sparse_problem(30, 200, &truth, 0.0, 27);
+        let path = LarConfig::new(6).fit(&g, &f).unwrap();
+        let err = relative_error(&path.final_model().predict_matrix(&g), &f);
+        assert!(err < 1e-6, "err {err}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let g = Matrix::identity(4);
+        assert!(LarConfig::new(0).fit(&g, &[1.0; 4]).is_err());
+        assert!(LarConfig::new(2).fit(&g, &[1.0; 3]).is_err());
+        let path = LarConfig::new(2).fit(&g, &[0.0; 4]).unwrap();
+        assert_eq!(path.final_model().num_nonzeros(), 0);
+    }
+
+    #[test]
+    fn zero_column_is_ignored() {
+        let mut s = NormalSampler::seed_from_u64(31);
+        let mut g = Matrix::from_fn(20, 10, |_, _| s.sample());
+        for r in 0..20 {
+            g[(r, 4)] = 0.0; // dead column
+        }
+        let f: Vec<f64> = (0..20).map(|r| 2.0 * g[(r, 7)]).collect();
+        let path = LarConfig::new(3).fit(&g, &f).unwrap();
+        assert!(!path.final_model().support().contains(&4));
+    }
+}

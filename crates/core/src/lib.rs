@@ -1,0 +1,117 @@
+//! Sparse response-surface modeling from underdetermined equations —
+//! the contribution of Li, *"Finding deterministic solution from
+//! underdetermined equation"* (DAC 2009; journal version IEEE TCAD
+//! 2010).
+//!
+//! Given `K` simulation samples of a performance metric and a
+//! dictionary of `M ≫ K` orthonormal basis functions, the linear
+//! system `G·α = F` (Eq. (6) of the paper) is underdetermined. This
+//! crate solves it by exploiting the sparsity of `α` under an L0-norm
+//! constraint (Eq. (11)):
+//!
+//! - [`omp`] — orthogonal matching pursuit (Algorithm 1): greedy
+//!   selection by residual inner product with a full least-squares
+//!   re-fit at every step, implemented with an incrementally updated
+//!   QR factorization;
+//! - [`lar`] — least angle regression (the DAC 2009 algorithm): the L1
+//!   relaxation solved by the Efron–Hastie–Johnstone–Tibshirani
+//!   equiangular path, with the optional lasso modification;
+//! - [`star`] — the STAR baseline (DAC 2008): same selection criterion,
+//!   but coefficients set directly to the inner-product estimate;
+//! - [`ls`] — classical over-determined least squares (needs `K ≥ M`);
+//! - [`codegen`] — export fitted models as C or Verilog-A source;
+//! - [`lasso_cd`] — a cyclic coordinate-descent lasso, included as an
+//!   independent cross-check of the LARS path (not one of the paper's
+//!   methods);
+//! - [`select`] — Q-fold cross-validated choice of the model order `λ`
+//!   (Section IV-C, Fig. 2);
+//! - [`model`] — the sparse model type shared by all solvers;
+//! - [`solver`] — a unified front-end dispatching on [`Method`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use rsm_core::{omp::OmpConfig, model::SparseModel};
+//! use rsm_linalg::Matrix;
+//!
+//! // y = 3·x₂ with 4 samples and 3 candidate basis vectors.
+//! let g = Matrix::from_rows(&[
+//!     &[1.0, 0.0, 0.5],
+//!     &[1.0, 1.0, -0.5],
+//!     &[1.0, 0.0, 1.0],
+//!     &[1.0, 1.0, -1.0],
+//! ]).unwrap();
+//! let f = [1.5, -1.5, 3.0, -3.0];
+//! let path = OmpConfig::new(1).fit(&g, &f).unwrap();
+//! let model = path.model_at(1);
+//! assert_eq!(model.support(), &[2]);
+//! assert!((model.coefficient(2).unwrap() - 3.0).abs() < 1e-10);
+//! ```
+
+// Numerical kernels index several parallel arrays inside one loop;
+// iterator-zip rewrites obscure the math, so the range-loop lint is
+// disabled crate-wide.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod lar;
+pub mod lasso_cd;
+pub mod ls;
+pub mod model;
+pub mod omp;
+pub mod path;
+pub mod select;
+pub mod solver;
+pub mod source;
+pub mod star;
+
+pub use model::SparseModel;
+pub use path::SparsePath;
+pub use solver::{FitReport, Method, ModelOrder};
+
+use std::fmt;
+
+/// Errors reported by the solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Operand shapes disagree (design matrix vs response vs config).
+    ShapeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// The requested problem is not solvable by the chosen method
+    /// (e.g. LS on an underdetermined system).
+    Unsolvable(String),
+    /// An underlying linear-algebra kernel failed.
+    Numerical(String),
+    /// Invalid configuration (zero folds, zero λ, …).
+    BadConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            CoreError::Unsolvable(msg) => write!(f, "unsolvable: {msg}"),
+            CoreError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<rsm_linalg::LinalgError> for CoreError {
+    fn from(e: rsm_linalg::LinalgError) -> Self {
+        CoreError::Numerical(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

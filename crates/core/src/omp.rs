@@ -1,0 +1,369 @@
+//! Orthogonal matching pursuit — Algorithm 1 of the paper.
+//!
+//! Each iteration:
+//!
+//! 1. computes the inner products `ξ_m = G_mᵀ·Res / K` between the
+//!    residual and every basis vector (Eq. (18));
+//! 2. selects the basis with the largest `|ξ|` (Step 4);
+//! 3. re-solves the least-squares problem over *all* selected bases
+//!    (Step 6 — the re-fit that distinguishes OMP from STAR);
+//! 4. updates the residual (Step 7).
+//!
+//! The re-fit is implemented with an incrementally-updated QR
+//! factorization ([`rsm_linalg::qr::IncrementalQr`]), so step `p`
+//! costs `O(K·M)` for the correlations plus `O(K·p)` for the update —
+//! not the `O(K·p²)` of re-factoring from scratch.
+
+use crate::model::SparseModel;
+use crate::path::SparsePath;
+use crate::source::AtomSource;
+use crate::{CoreError, Result};
+use rsm_linalg::qr::IncrementalQr;
+use rsm_linalg::vec_ops::{dot, norm2};
+use rsm_linalg::Matrix;
+
+/// OMP configuration.
+#[derive(Debug, Clone)]
+pub struct OmpConfig {
+    /// Number of basis functions to select (`λ` in the paper).
+    pub lambda: usize,
+    /// Stop early once the residual L2 norm falls below
+    /// `rel_tol · ‖F‖₂`.
+    pub rel_tol: f64,
+    /// Normalize atoms by their empirical column norm during selection
+    /// (classical OMP). The paper's Algorithm 1 uses the plain inner
+    /// product because its basis functions are stochastically
+    /// normalized; `false` (the default) reproduces that choice.
+    pub normalize_atoms: bool,
+}
+
+impl OmpConfig {
+    /// Paper-faithful configuration selecting `lambda` bases.
+    pub fn new(lambda: usize) -> Self {
+        OmpConfig {
+            lambda,
+            rel_tol: 1e-12,
+            normalize_atoms: false,
+        }
+    }
+
+    /// Enables column-norm-normalized selection (classical OMP).
+    pub fn with_normalized_atoms(mut self) -> Self {
+        self.normalize_atoms = true;
+        self
+    }
+
+    /// Runs OMP on the underdetermined system `G·α = F`.
+    ///
+    /// Returns the full selection path (model snapshots after each
+    /// step), which cross-validation consumes.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::ShapeMismatch`] if `f.len() != g.rows()`;
+    /// - [`CoreError::BadConfig`] if `lambda == 0`;
+    /// - [`CoreError::Unsolvable`] if no informative column exists at
+    ///   the very first step (e.g. `F = 0` handled gracefully — a
+    ///   one-step zero path is returned instead).
+    pub fn fit(&self, g: &Matrix, f: &[f64]) -> Result<SparsePath> {
+        self.fit_source(g, f)
+    }
+
+    /// Runs OMP against any [`AtomSource`] — in particular an implicit
+    /// dictionary ([`crate::source::DictionarySource`]) for problems
+    /// whose design matrix is too large to materialize (`M ~ 10⁶`,
+    /// the upper end of the paper's target range).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::fit`].
+    pub fn fit_source<S: AtomSource + ?Sized>(&self, g: &S, f: &[f64]) -> Result<SparsePath> {
+        let (k, m) = (g.num_rows(), g.num_atoms());
+        if f.len() != k {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("response of length {k}"),
+                found: format!("length {}", f.len()),
+            });
+        }
+        if self.lambda == 0 {
+            return Err(CoreError::BadConfig("lambda must be at least 1".into()));
+        }
+        if f.iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::BadConfig(
+                "response vector contains non-finite values".into(),
+            ));
+        }
+        let f_norm = norm2(f);
+        if f_norm == 0.0 {
+            // Degenerate: the zero model is exact.
+            return Ok(SparsePath::new(m, vec![SparseModel::zero(m)], vec![0.0]));
+        }
+        // Optional per-column norms for normalized selection: one
+        // column sweep (O(K·M), same order as a single correlate pass).
+        let col_norms: Option<Vec<f64>> = if self.normalize_atoms {
+            let mut norms = vec![0.0; m];
+            let mut col = vec![0.0; k];
+            for (j, n) in norms.iter_mut().enumerate() {
+                g.column_into(j, &mut col);
+                *n = norm2(&col).max(1e-300);
+            }
+            Some(norms)
+        } else {
+            None
+        };
+
+        let lambda_max = self.lambda.min(k).min(m);
+        let mut qr = IncrementalQr::new(k);
+        let mut selected: Vec<usize> = Vec::with_capacity(lambda_max);
+        let mut in_model = vec![false; m];
+        let mut excluded = vec![false; m]; // numerically dependent atoms
+        let mut res = f.to_vec();
+        let mut snapshots = Vec::with_capacity(lambda_max);
+        let mut residual_norms = Vec::with_capacity(lambda_max);
+        let mut col_buf = vec![0.0; k];
+
+        while selected.len() < lambda_max {
+            // ξ = Gᵀ·Res (the 1/K factor does not change the argmax).
+            let xi = g.correlate(&res);
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &v) in xi.iter().enumerate() {
+                if in_model[j] || excluded[j] {
+                    continue;
+                }
+                let score = match &col_norms {
+                    Some(n) => v.abs() / n[j],
+                    None => v.abs(),
+                };
+                match best {
+                    Some((_, b)) if score <= b => {}
+                    _ => best = Some((j, score)),
+                }
+            }
+            let Some((s, score)) = best else { break };
+            if score <= f_norm * 1e-14 {
+                break; // residual orthogonal to every remaining atom
+            }
+            g.column_into(s, &mut col_buf);
+            match qr.push_column(&col_buf) {
+                Ok(()) => {}
+                Err(_) => {
+                    // Atom in the span of the current selection: skip
+                    // it permanently (Step 4 would loop otherwise).
+                    excluded[s] = true;
+                    continue;
+                }
+            }
+            in_model[s] = true;
+            selected.push(s);
+            // Step 6: full LS re-fit over the selected set.
+            let coef = qr.solve_least_squares(f)?;
+            res = qr.residual(f)?;
+            let rn = norm2(&res);
+            snapshots.push(SparseModel::new(
+                m,
+                selected.iter().copied().zip(coef.iter().copied()).collect(),
+            ));
+            residual_norms.push(rn);
+            if rn <= self.rel_tol * f_norm {
+                break;
+            }
+        }
+        if snapshots.is_empty() {
+            return Err(CoreError::Unsolvable(
+                "no informative basis vector found".into(),
+            ));
+        }
+        Ok(SparsePath::new(m, snapshots, residual_norms))
+    }
+}
+
+/// Convenience: paper-faithful OMP returning only the final model.
+///
+/// # Errors
+///
+/// As [`OmpConfig::fit`].
+pub fn fit(g: &Matrix, f: &[f64], lambda: usize) -> Result<SparseModel> {
+    Ok(OmpConfig::new(lambda).fit(g, f)?.final_model().clone())
+}
+
+/// Verifies the defining OMP invariant: after each step the residual is
+/// orthogonal to every selected basis vector. Exposed for tests and
+/// diagnostics.
+pub fn residual_orthogonality(g: &Matrix, f: &[f64], model: &SparseModel) -> f64 {
+    let pred = model.predict_matrix(g);
+    let res: Vec<f64> = f.iter().zip(&pred).map(|(a, b)| a - b).collect();
+    let mut worst = 0.0f64;
+    for &(j, _) in model.coefficients() {
+        let col = g.col(j);
+        let corr = dot(&col, &res) / (norm2(&col) * norm2(&res)).max(1e-300);
+        worst = worst.max(corr.abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsm_stats::NormalSampler;
+
+    /// Random K×M Gaussian dictionary and a P-sparse ground truth.
+    fn sparse_problem(
+        k: usize,
+        m: usize,
+        p: usize,
+        noise: f64,
+        seed: u64,
+    ) -> (Matrix, Vec<f64>, Vec<(usize, f64)>) {
+        let mut s = NormalSampler::seed_from_u64(seed);
+        let g = Matrix::from_fn(k, m, |_, _| s.sample());
+        let mut truth = Vec::new();
+        for i in 0..p {
+            let idx = (i * m / p + 3) % m;
+            let val = if i % 2 == 0 {
+                2.0 + i as f64
+            } else {
+                -(1.5 + i as f64)
+            };
+            truth.push((idx, val));
+        }
+        let mut f = vec![0.0; k];
+        for &(j, v) in &truth {
+            for r in 0..k {
+                f[r] += v * g[(r, j)];
+            }
+        }
+        for fr in &mut f {
+            *fr += noise * s.sample();
+        }
+        truth.sort_by_key(|&(j, _)| j);
+        (g, f, truth)
+    }
+
+    #[test]
+    fn exact_recovery_noiseless() {
+        let (g, f, truth) = sparse_problem(60, 200, 5, 0.0, 1);
+        let path = OmpConfig::new(5).fit(&g, &f).unwrap();
+        let model = path.final_model();
+        let support = model.support();
+        let expected: Vec<usize> = truth.iter().map(|&(j, _)| j).collect();
+        assert_eq!(support, expected);
+        for (j, v) in truth {
+            assert!((model.coefficient(j).unwrap() - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn residual_orthogonal_to_selection() {
+        let (g, f, _) = sparse_problem(50, 120, 4, 0.1, 2);
+        let path = OmpConfig::new(8).fit(&g, &f).unwrap();
+        for (_, model) in path.iter() {
+            assert!(residual_orthogonality(&g, &f, model) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn residual_norms_monotone_nonincreasing() {
+        let (g, f, _) = sparse_problem(40, 100, 6, 0.2, 3);
+        let path = OmpConfig::new(15).fit(&g, &f).unwrap();
+        for w in path.residual_norms().windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn early_stop_on_tiny_residual() {
+        let (g, f, _) = sparse_problem(60, 150, 3, 0.0, 4);
+        let path = OmpConfig::new(50).fit(&g, &f).unwrap();
+        // Exactly-3-sparse noiseless target: path should stop around 3.
+        assert!(path.len() <= 4, "path length {}", path.len());
+    }
+
+    #[test]
+    fn lambda_capped_by_samples() {
+        let (g, f, _) = sparse_problem(10, 50, 2, 0.01, 5);
+        let path = OmpConfig::new(100).fit(&g, &f).unwrap();
+        assert!(path.len() <= 10);
+    }
+
+    #[test]
+    fn zero_response_gives_zero_model() {
+        let (g, _, _) = sparse_problem(20, 40, 2, 0.0, 6);
+        let f = vec![0.0; 20];
+        let path = OmpConfig::new(5).fit(&g, &f).unwrap();
+        assert_eq!(path.final_model().num_nonzeros(), 0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = Matrix::zeros(5, 3);
+        assert!(matches!(
+            OmpConfig::new(1).fit(&g, &[1.0, 2.0]),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_lambda_rejected() {
+        let g = Matrix::identity(3);
+        assert!(matches!(
+            OmpConfig::new(0).fit(&g, &[1.0, 1.0, 1.0]),
+            Err(CoreError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_columns_do_not_stall() {
+        // Dictionary with an exact duplicate of the informative column.
+        let mut s = NormalSampler::seed_from_u64(9);
+        let base = Matrix::from_fn(30, 10, |_, _| s.sample());
+        let mut g = Matrix::zeros(30, 11);
+        for r in 0..30 {
+            for c in 0..10 {
+                g[(r, c)] = base[(r, c)];
+            }
+            g[(r, 10)] = base[(r, 3)]; // duplicate of column 3
+        }
+        let f: Vec<f64> = (0..30)
+            .map(|r| 2.0 * base[(r, 3)] + 0.5 * base[(r, 7)])
+            .collect();
+        let path = OmpConfig::new(5).fit(&g, &f).unwrap();
+        let model = path.final_model();
+        // Either copy may be selected, but never both (the second is
+        // excluded as dependent) and the fit is exact.
+        let pred = model.predict_matrix(&g);
+        let err: f64 = pred
+            .iter()
+            .zip(&f)
+            .map(|(p, t)| (p - t).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn normalized_selection_recovers_with_scaled_columns() {
+        // One informative column scaled tiny: plain selection can be
+        // distracted, normalized selection must still recover exactly.
+        let (mut g, mut f, truth) = sparse_problem(60, 100, 3, 0.0, 11);
+        // Scale every column j by (1 + j mod 7).
+        let m = g.cols();
+        for r in 0..g.rows() {
+            for c in 0..m {
+                g[(r, c)] *= 1.0 + (c % 7) as f64;
+            }
+        }
+        // Rebuild response in the scaled dictionary.
+        f.iter_mut().for_each(|v| *v = 0.0);
+        for &(j, v) in &truth {
+            for r in 0..g.rows() {
+                f[r] += v * g[(r, j)];
+            }
+        }
+        let path = OmpConfig::new(3)
+            .with_normalized_atoms()
+            .fit(&g, &f)
+            .unwrap();
+        let support = path.final_model().support();
+        let expected: Vec<usize> = truth.iter().map(|&(j, _)| j).collect();
+        assert_eq!(support, expected);
+    }
+}

@@ -1,0 +1,282 @@
+//! Q-fold cross-validated choice of the model order `λ`
+//! (Section IV-C and Fig. 2 of the paper).
+//!
+//! For each fold `q`, a solver path is fit on the other `Q − 1` groups
+//! and the modeling error `ε_q(λ)` is measured on group `q` for every
+//! `λ` along the path. The averaged curve `ε(λ)` is minimized to pick
+//! `λ*`, and the final model is re-fit on the full training set at
+//! `λ*`.
+
+use crate::path::SparsePath;
+use crate::{CoreError, Result};
+use rsm_linalg::Matrix;
+use rsm_stats::metrics::relative_error;
+use rsm_stats::{NormalSampler, QFold};
+
+/// Cross-validation configuration.
+#[derive(Debug, Clone)]
+pub struct CvConfig {
+    /// Number of folds `Q` (the paper's examples use 4).
+    pub folds: usize,
+    /// Largest model order to explore.
+    pub lambda_max: usize,
+    /// Shuffle the fold assignment with this seed (`None` =
+    /// deterministic round-robin).
+    pub shuffle_seed: Option<u64>,
+    /// Apply the one-standard-error rule: instead of the exact
+    /// minimizer, pick the *smallest* `λ` whose mean error is within
+    /// one standard error of the minimum — a sparser model at
+    /// statistically indistinguishable accuracy (Hastie et al., the
+    /// paper's reference [22]).
+    pub one_se_rule: bool,
+}
+
+impl CvConfig {
+    /// 4-fold cross-validation up to `lambda_max`, matching Fig. 2.
+    pub fn new(lambda_max: usize) -> Self {
+        CvConfig {
+            folds: 4,
+            lambda_max,
+            shuffle_seed: None,
+            one_se_rule: false,
+        }
+    }
+
+    /// Enables the one-standard-error selection rule.
+    pub fn with_one_se_rule(mut self) -> Self {
+        self.one_se_rule = true;
+        self
+    }
+}
+
+/// Outcome of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// `ε(λ)` for `λ = 1..=lambda_explored` (index 0 ↦ λ = 1).
+    pub errors: Vec<f64>,
+    /// Standard error of `ε(λ)` across folds (same indexing).
+    pub errors_se: Vec<f64>,
+    /// The selected `λ*` (exact minimizer, or the one-SE choice when
+    /// [`CvConfig::one_se_rule`] is set).
+    pub best_lambda: usize,
+    /// `ε(λ*)`.
+    pub best_error: f64,
+}
+
+/// Cross-validates any path-producing solver.
+///
+/// `fit_path(g_train, f_train)` must return the solver's solution path
+/// on the given training subset. The same closure is used for every
+/// fold, so its configuration (e.g. `lambda_max`) should allow at least
+/// `cfg.lambda_max` steps.
+///
+/// # Errors
+///
+/// - [`CoreError::BadConfig`] for degenerate fold counts / `λ` ranges;
+/// - any error from `fit_path`.
+pub fn cross_validate<F>(g: &Matrix, f: &[f64], cfg: &CvConfig, mut fit_path: F) -> Result<CvResult>
+where
+    F: FnMut(&Matrix, &[f64]) -> Result<SparsePath>,
+{
+    let k = g.rows();
+    if f.len() != k {
+        return Err(CoreError::ShapeMismatch {
+            expected: format!("response of length {k}"),
+            found: format!("length {}", f.len()),
+        });
+    }
+    if cfg.lambda_max == 0 {
+        return Err(CoreError::BadConfig("lambda_max must be at least 1".into()));
+    }
+    let folds = match cfg.shuffle_seed {
+        Some(seed) => {
+            let mut s = NormalSampler::seed_from_u64(seed);
+            QFold::shuffled(k, cfg.folds, &mut s)
+        }
+        None => QFold::new(k, cfg.folds),
+    }
+    .ok_or_else(|| {
+        CoreError::BadConfig(format!("cannot split {k} samples into {} folds", cfg.folds))
+    })?;
+
+    // Accumulate ε_q(λ) across folds; a path may stop early, in which
+    // case its final model is reused for larger λ (clamped by
+    // `model_at`), matching how a practitioner would treat a converged
+    // path.
+    let mut per_fold: Vec<Vec<f64>> = Vec::with_capacity(cfg.folds);
+    for (train, test) in folds.splits() {
+        let g_train = g.select_rows(&train);
+        let f_train: Vec<f64> = train.iter().map(|&i| f[i]).collect();
+        let g_test = g.select_rows(&test);
+        let f_test: Vec<f64> = test.iter().map(|&i| f[i]).collect();
+        let path = fit_path(&g_train, &f_train)?;
+        let mut fold_errs = Vec::with_capacity(cfg.lambda_max);
+        for lambda in 1..=cfg.lambda_max {
+            let model = path.model_at(lambda);
+            let pred = model.predict_matrix(&g_test);
+            fold_errs.push(relative_error(&pred, &f_test));
+        }
+        per_fold.push(fold_errs);
+    }
+    let q = per_fold.len() as f64;
+    let mut errors = Vec::with_capacity(cfg.lambda_max);
+    let mut errors_se = Vec::with_capacity(cfg.lambda_max);
+    for l in 0..cfg.lambda_max {
+        let vals: Vec<f64> = per_fold
+            .iter()
+            .map(|fe| fe[l])
+            .filter(|v| v.is_finite())
+            .collect();
+        if vals.is_empty() {
+            errors.push(f64::INFINITY);
+            errors_se.push(f64::INFINITY);
+            continue;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len().max(1) as f64;
+        errors.push(mean);
+        errors_se.push((var / q).sqrt());
+    }
+    let (best_idx, &best_error) = errors
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite CV errors"))
+        .ok_or_else(|| CoreError::BadConfig("empty CV error curve".into()))?;
+    let best_lambda = if cfg.one_se_rule {
+        let threshold = best_error + errors_se[best_idx];
+        errors
+            .iter()
+            .position(|&e| e <= threshold)
+            .map(|i| i + 1)
+            .unwrap_or(best_idx + 1)
+    } else {
+        best_idx + 1
+    };
+    Ok(CvResult {
+        best_error: errors[best_lambda - 1],
+        errors,
+        errors_se,
+        best_lambda,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omp::OmpConfig;
+    use rsm_stats::NormalSampler;
+
+    /// P-sparse problem with noise, where over-fitting is possible.
+    fn noisy_problem(k: usize, m: usize, p: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut s = NormalSampler::seed_from_u64(seed);
+        let g = Matrix::from_fn(k, m, |_, _| s.sample());
+        let mut f = vec![0.0; k];
+        for i in 0..p {
+            let j = (i * 13 + 5) % m;
+            let v = 3.0 / (1.0 + i as f64);
+            for r in 0..k {
+                f[r] += v * g[(r, j)];
+            }
+        }
+        for fr in &mut f {
+            *fr += 0.3 * s.sample();
+        }
+        (g, f)
+    }
+
+    #[test]
+    fn picks_lambda_near_true_sparsity() {
+        let p = 5;
+        let (g, f) = noisy_problem(120, 300, p, 42);
+        let cfg = CvConfig::new(30);
+        let cv = cross_validate(&g, &f, &cfg, |gt, ft| OmpConfig::new(30).fit(gt, ft)).unwrap();
+        assert!(
+            cv.best_lambda >= p && cv.best_lambda <= p + 6,
+            "best λ = {} for true sparsity {p}",
+            cv.best_lambda
+        );
+    }
+
+    #[test]
+    fn error_curve_rises_after_optimum() {
+        // Over-fitting: the CV error at λ_max must exceed the minimum.
+        let (g, f) = noisy_problem(60, 200, 4, 7);
+        let cfg = CvConfig::new(40);
+        let cv = cross_validate(&g, &f, &cfg, |gt, ft| OmpConfig::new(40).fit(gt, ft)).unwrap();
+        let last = *cv.errors.last().unwrap();
+        assert!(
+            last > cv.best_error * 1.05,
+            "no overfitting detected: min {} vs last {last}",
+            cv.best_error
+        );
+    }
+
+    #[test]
+    fn four_folds_by_default() {
+        let cfg = CvConfig::new(10);
+        assert_eq!(cfg.folds, 4);
+        assert!(!cfg.one_se_rule);
+    }
+
+    #[test]
+    fn one_se_rule_never_picks_larger_lambda() {
+        let (g, f) = noisy_problem(100, 250, 5, 13);
+        let plain = cross_validate(&g, &f, &CvConfig::new(30), |gt, ft| {
+            OmpConfig::new(30).fit(gt, ft)
+        })
+        .unwrap();
+        let one_se = cross_validate(&g, &f, &CvConfig::new(30).with_one_se_rule(), |gt, ft| {
+            OmpConfig::new(30).fit(gt, ft)
+        })
+        .unwrap();
+        assert!(one_se.best_lambda <= plain.best_lambda);
+        // The one-SE error stays within a standard error of the minimum.
+        let min_idx = plain.best_lambda - 1;
+        assert!(one_se.best_error <= plain.errors[min_idx] + plain.errors_se[min_idx] + 1e-12);
+    }
+
+    #[test]
+    fn standard_errors_are_finite_and_nonnegative() {
+        let (g, f) = noisy_problem(80, 100, 3, 17);
+        let cv = cross_validate(&g, &f, &CvConfig::new(15), |gt, ft| {
+            OmpConfig::new(15).fit(gt, ft)
+        })
+        .unwrap();
+        assert_eq!(cv.errors_se.len(), 15);
+        assert!(cv.errors_se.iter().all(|&s| s >= 0.0 && s.is_finite()));
+    }
+
+    #[test]
+    fn shuffled_cv_also_works() {
+        let (g, f) = noisy_problem(80, 100, 3, 3);
+        let cfg = CvConfig {
+            folds: 5,
+            shuffle_seed: Some(1),
+            ..CvConfig::new(15)
+        };
+        let cv = cross_validate(&g, &f, &cfg, |gt, ft| OmpConfig::new(15).fit(gt, ft)).unwrap();
+        assert!(cv.best_lambda >= 2 && cv.best_lambda <= 10);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let (g, f) = noisy_problem(20, 10, 1, 9);
+        let bad_folds = CvConfig {
+            folds: 1,
+            ..CvConfig::new(5)
+        };
+        assert!(cross_validate(&g, &f, &bad_folds, |gt, ft| {
+            OmpConfig::new(5).fit(gt, ft)
+        })
+        .is_err());
+        let zero_lambda = CvConfig {
+            lambda_max: 0,
+            ..CvConfig::new(5)
+        };
+        assert!(cross_validate(&g, &f, &zero_lambda, |gt, ft| {
+            OmpConfig::new(5).fit(gt, ft)
+        })
+        .is_err());
+    }
+}

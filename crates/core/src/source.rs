@@ -1,0 +1,208 @@
+//! Implicit design-matrix sources.
+//!
+//! The paper targets up to `M ≈ 10⁶` model coefficients. A
+//! materialized design matrix at `K = 10³`, `M = 10⁶` is 8 GB — beyond
+//! sensible memory — but the greedy solvers only ever need two
+//! operations on `G`:
+//!
+//! 1. `correlate`: `ξ = Gᵀ·res` over all atoms (the selection step);
+//! 2. `column_into`: materialize the *one* selected column.
+//!
+//! [`AtomSource`] abstracts those two; [`rsm_linalg::Matrix`]
+//! implements it for the in-memory path, and [`DictionarySource`]
+//! implements it by evaluating a Hermite dictionary on the fly, row by
+//! row, with `O(K + M)` scratch instead of `O(K·M)` storage.
+
+use rsm_basis::Dictionary;
+use rsm_linalg::Matrix;
+
+/// Minimal interface a greedy sparse solver needs from the design
+/// matrix `G ∈ R^{K×M}`.
+pub trait AtomSource {
+    /// Number of rows `K` (samples).
+    fn num_rows(&self) -> usize;
+
+    /// Number of atoms `M` (basis functions).
+    fn num_atoms(&self) -> usize;
+
+    /// Computes all correlations `ξ = Gᵀ·res`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `res.len() != num_rows()`.
+    fn correlate(&self, res: &[f64]) -> Vec<f64>;
+
+    /// Materializes column `j` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `j >= num_atoms()` or
+    /// `out.len() != num_rows()`.
+    fn column_into(&self, j: usize, out: &mut [f64]);
+}
+
+impl AtomSource for Matrix {
+    fn num_rows(&self) -> usize {
+        self.rows()
+    }
+
+    fn num_atoms(&self) -> usize {
+        self.cols()
+    }
+
+    fn correlate(&self, res: &[f64]) -> Vec<f64> {
+        self.matvec_t(res).expect("residual length mismatch")
+    }
+
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        self.col_into(j, out);
+    }
+}
+
+/// An implicit design matrix: a basis [`Dictionary`] evaluated at a set
+/// of sample points on demand.
+///
+/// `correlate` walks the samples row by row, evaluating all `M` basis
+/// functions at one point into a scratch buffer and accumulating
+/// `res[k]·g(ΔY^(k))` — never holding more than one row of `G`.
+///
+/// # Example
+///
+/// ```
+/// use rsm_basis::{Dictionary, DictionaryKind};
+/// use rsm_core::source::{AtomSource, DictionarySource};
+/// use rsm_linalg::Matrix;
+///
+/// let dict = Dictionary::new(50, DictionaryKind::Quadratic);
+/// let samples = Matrix::zeros(10, 50);
+/// let src = DictionarySource::new(&dict, &samples);
+/// assert_eq!(src.num_atoms(), dict.len()); // 1 + 100 + 1225
+/// assert_eq!(src.num_rows(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DictionarySource<'a> {
+    dict: &'a Dictionary,
+    /// `K × N` matrix of variation samples (inputs, not basis values).
+    samples: &'a Matrix,
+}
+
+impl<'a> DictionarySource<'a> {
+    /// Wraps a dictionary and its evaluation points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.cols() != dict.num_vars()`.
+    pub fn new(dict: &'a Dictionary, samples: &'a Matrix) -> Self {
+        assert_eq!(
+            samples.cols(),
+            dict.num_vars(),
+            "sample dimension does not match dictionary variables"
+        );
+        DictionarySource { dict, samples }
+    }
+
+    /// The wrapped dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        self.dict
+    }
+}
+
+impl AtomSource for DictionarySource<'_> {
+    fn num_rows(&self) -> usize {
+        self.samples.rows()
+    }
+
+    fn num_atoms(&self) -> usize {
+        self.dict.len()
+    }
+
+    fn correlate(&self, res: &[f64]) -> Vec<f64> {
+        assert_eq!(res.len(), self.samples.rows(), "residual length mismatch");
+        let m = self.dict.len();
+        let mut xi = vec![0.0; m];
+        let mut row = vec![0.0; m];
+        for (k, &rk) in res.iter().enumerate() {
+            if rk == 0.0 {
+                continue;
+            }
+            self.dict.eval_point_into(self.samples.row(k), &mut row);
+            for (x, &g) in xi.iter_mut().zip(&row) {
+                *x += rk * g;
+            }
+        }
+        xi
+    }
+
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.samples.rows());
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.dict.eval_term(j, self.samples.row(k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsm_basis::DictionaryKind;
+    use rsm_stats::NormalSampler;
+
+    fn setup() -> (Dictionary, Matrix) {
+        let mut rng = NormalSampler::seed_from_u64(7);
+        let dict = Dictionary::new(6, DictionaryKind::Quadratic);
+        let samples = Matrix::from_fn(15, 6, |_, _| rng.sample());
+        (dict, samples)
+    }
+
+    #[test]
+    fn correlate_matches_materialized() {
+        let (dict, samples) = setup();
+        let g = dict.design_matrix(&samples);
+        let src = DictionarySource::new(&dict, &samples);
+        let res: Vec<f64> = (0..15).map(|i| (i as f64 * 0.31).sin()).collect();
+        let xi_src = src.correlate(&res);
+        let xi_mat = g.correlate(&res);
+        assert_eq!(xi_src.len(), xi_mat.len());
+        for (a, b) in xi_src.iter().zip(&xi_mat) {
+            assert!((a - b).abs() < 1e-11, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn column_matches_materialized() {
+        let (dict, samples) = setup();
+        let g = dict.design_matrix(&samples);
+        let src = DictionarySource::new(&dict, &samples);
+        let mut col = vec![0.0; 15];
+        for j in [0usize, 1, 7, dict.len() - 1] {
+            src.column_into(j, &mut col);
+            let expect = g.col(j);
+            for (a, b) in col.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_residual_rows_are_skipped_correctly() {
+        let (dict, samples) = setup();
+        let src = DictionarySource::new(&dict, &samples);
+        let mut res = vec![0.0; 15];
+        res[3] = 2.0;
+        let xi = src.correlate(&res);
+        // ξ_j = 2·g_j(ΔY^(3)).
+        let mut row = vec![0.0; dict.len()];
+        dict.eval_point_into(samples.row(3), &mut row);
+        for (x, g) in xi.iter().zip(&row) {
+            assert!((x - 2.0 * g).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dictionary")]
+    fn dimension_mismatch_panics() {
+        let dict = Dictionary::new(4, DictionaryKind::Linear);
+        let samples = Matrix::zeros(3, 5);
+        let _ = DictionarySource::new(&dict, &samples);
+    }
+}

@@ -1,0 +1,323 @@
+//! Cholesky factorization of symmetric positive-definite matrices,
+//! including a growing variant used by the LARS solver.
+
+use crate::vec_ops::dot;
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// # Example
+///
+/// ```
+/// use rsm_linalg::{Matrix, cholesky::Cholesky};
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+/// let ch = Cholesky::new(&a).unwrap();
+/// let x = ch.solve(&[8.0, 7.0]).unwrap();
+/// assert!((x[0] - 1.25).abs() < 1e-12 && (x[1] - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// `n × n` matrix whose lower triangle holds `L`.
+    l: Matrix,
+    n: usize,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::ShapeMismatch`] if `a` is not square;
+    /// - [`LinalgError::NotPositiveDefinite`] if a pivot is `<= 0`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                // s -= Σ_k L[i,k]·L[j,k]
+                let (li, lj) = (l.row(i), l.row(j));
+                s -= dot(&li[..j], &lj[..j]);
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { index: i });
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l, n })
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via forward/backward substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("rhs of length {}", self.n),
+                found: format!("length {}", b.len()),
+            });
+        }
+        let mut y = b.to_vec();
+        // L·y = b
+        for i in 0..self.n {
+            let li = self.l.row(i);
+            let s = dot(&li[..i], &y[..i]);
+            y[i] = (y[i] - s) / li[i];
+        }
+        // Lᵀ·x = y
+        for i in (0..self.n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..self.n {
+                s -= self.l[(j, i)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Log-determinant of `A` (`2·Σ log L[i,i]`), useful for Gaussian
+    /// likelihoods.
+    pub fn log_det(&self) -> f64 {
+        (0..self.n).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// A Cholesky factorization of a Gram matrix that grows one row/column
+/// at a time, as LARS adds predictors to its active set.
+///
+/// Maintains `L` for `G_p = X_pᵀ X_p` where `X_p` is the matrix of the
+/// `p` active columns. Appending column `x_{p+1}` requires only the
+/// cross products `X_pᵀ x_{p+1}` and `x_{p+1}ᵀ x_{p+1}` and costs
+/// `O(p²)`.
+#[derive(Debug, Clone, Default)]
+pub struct GrowingCholesky {
+    /// Row-packed lower-triangular factor: row `i` has `i+1` entries.
+    rows: Vec<Vec<f64>>,
+}
+
+impl GrowingCholesky {
+    /// Creates an empty factorization.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current dimension `p`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a predictor: `cross[i] = ⟨x_i, x_new⟩` against the `p`
+    /// existing predictors, `diag = ⟨x_new, x_new⟩`.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::ShapeMismatch`] if `cross.len() != p`;
+    /// - [`LinalgError::NotPositiveDefinite`] if the Schur complement is
+    ///   non-positive (new predictor numerically dependent on the active
+    ///   set). The factorization is unchanged on error.
+    pub fn push(&mut self, cross: &[f64], diag: f64) -> Result<()> {
+        let p = self.rows.len();
+        if cross.len() != p {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("cross-product vector of length {p}"),
+                found: format!("length {}", cross.len()),
+            });
+        }
+        // Solve L·w = cross.
+        let mut w = vec![0.0; p + 1];
+        for i in 0..p {
+            let li = &self.rows[i];
+            let s = dot(&li[..i], &w[..i]);
+            w[i] = (cross[i] - s) / li[i];
+        }
+        let schur = diag - dot(&w[..p], &w[..p]);
+        let scale_ref = diag.abs().max(1.0);
+        if schur <= scale_ref * 1e-12 || !schur.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { index: p });
+        }
+        w[p] = schur.sqrt();
+        self.rows.push(w);
+        Ok(())
+    }
+
+    /// Removes the most recently appended predictor. Returns `true` if
+    /// one was removed.
+    pub fn pop(&mut self) -> bool {
+        self.rows.pop().is_some()
+    }
+
+    /// Solves `G·x = b` for the current active set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != p`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let p = self.rows.len();
+        if b.len() != p {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("rhs of length {p}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        let mut y = b.to_vec();
+        for i in 0..p {
+            let li = &self.rows[i];
+            let s = dot(&li[..i], &y[..i]);
+            y[i] = (y[i] - s) / li[i];
+        }
+        for i in (0..p).rev() {
+            let mut s = y[i];
+            for (j, rowj) in self.rows.iter().enumerate().skip(i + 1) {
+                s -= rowj[i] * y[j];
+            }
+            y[i] = s / self.rows[i][i];
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let b = Matrix::from_fn(n + 2, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let mut g = b.gram();
+        for i in 0..n {
+            g[(i, i)] += 0.5; // well away from singular
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd(6, 1);
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.l();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(5, 2);
+        let x_true: Vec<f64> = (0..5).map(|i| (i as f64) - 2.0).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn log_det_diag() {
+        let a = Matrix::from_diag(&[2.0, 8.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 16.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn growing_matches_batch() {
+        let a = spd(6, 9);
+        // Treat `a` as a Gram matrix we reveal column by column.
+        let mut g = GrowingCholesky::new();
+        for p in 0..6 {
+            let cross: Vec<f64> = (0..p).map(|i| a[(i, p)]).collect();
+            g.push(&cross, a[(p, p)]).unwrap();
+        }
+        let b: Vec<f64> = (0..6).map(|i| (i as f64 + 1.0).sqrt()).collect();
+        let x_inc = g.solve(&b).unwrap();
+        let x_batch = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, bi) in x_inc.iter().zip(&x_batch) {
+            assert!((xi - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn growing_rejects_dependent_and_survives() {
+        let mut g = GrowingCholesky::new();
+        g.push(&[], 1.0).unwrap();
+        // Column perfectly correlated with the first one: Schur = 0.
+        assert!(g.push(&[1.0], 1.0).is_err());
+        assert_eq!(g.dim(), 1);
+        g.push(&[0.5], 1.0).unwrap();
+        assert_eq!(g.dim(), 2);
+    }
+
+    #[test]
+    fn growing_pop_restores() {
+        let a = spd(4, 4);
+        let mut g = GrowingCholesky::new();
+        for p in 0..3 {
+            let cross: Vec<f64> = (0..p).map(|i| a[(i, p)]).collect();
+            g.push(&cross, a[(p, p)]).unwrap();
+        }
+        let b = [1.0, 2.0, 3.0];
+        let before = g.solve(&b).unwrap();
+        let cross: Vec<f64> = (0..3).map(|i| a[(i, 3)]).collect();
+        g.push(&cross, a[(3, 3)]).unwrap();
+        assert!(g.pop());
+        let after = g.solve(&b).unwrap();
+        for (x, y) in before.iter().zip(&after) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn growing_shape_errors() {
+        let mut g = GrowingCholesky::new();
+        g.push(&[], 2.0).unwrap();
+        assert!(g.push(&[0.1, 0.2], 1.0).is_err());
+        assert!(g.solve(&[1.0, 2.0]).is_err());
+    }
+}

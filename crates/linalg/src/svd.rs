@@ -1,0 +1,239 @@
+//! Thin singular value decomposition by one-sided Jacobi rotations.
+//!
+//! Used for conditioning diagnostics of dictionary matrices and for
+//! rank-revealing checks in tests. One-sided Jacobi is simple, robust,
+//! and accurate for the modest sizes we need (`n ≲ 10³`).
+
+use crate::vec_ops::{dot, norm2};
+use crate::{LinalgError, Matrix, Result};
+
+/// Thin SVD `A = U·diag(σ)·Vᵀ` of an `m × n` matrix with `m ≥ n`.
+///
+/// Singular values are in descending order; `U` is `m × n` with
+/// orthonormal columns, `V` is `n × n` orthogonal.
+///
+/// # Example
+///
+/// ```
+/// use rsm_linalg::{Matrix, svd::Svd};
+/// let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0], &[0.0, 0.0]]).unwrap();
+/// let svd = Svd::new(&a).unwrap();
+/// assert!((svd.singular_values()[0] - 4.0).abs() < 1e-12);
+/// assert!((svd.singular_values()[1] - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: Matrix,
+    singular_values: Vec<f64>,
+    v: Matrix,
+}
+
+impl Svd {
+    const MAX_SWEEPS: usize = 60;
+
+    /// Computes the thin SVD. For wide matrices (`m < n`) pass the
+    /// transpose and swap the factors.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::ShapeMismatch`] for wide matrices;
+    /// - [`LinalgError::NoConvergence`] if the rotations fail to
+    ///   orthogonalize the columns.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidArgument("empty matrix".into()));
+        }
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: "rows >= cols (pass the transpose for wide matrices)".into(),
+                found: format!("{m}x{n}"),
+            });
+        }
+        // Work on column copies of A; accumulate V.
+        let mut cols: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
+        let mut v = Matrix::identity(n);
+        let eps = 1e-15;
+        let mut converged = false;
+        for _ in 0..Self::MAX_SWEEPS {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let alpha = dot(&cols[p], &cols[p]);
+                    let beta = dot(&cols[q], &cols[q]);
+                    let gamma = dot(&cols[p], &cols[q]);
+                    if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                        continue;
+                    }
+                    rotated = true;
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    // Rotate the column pair.
+                    let (head, tail) = cols.split_at_mut(q);
+                    let cp = &mut head[p];
+                    let cq = &mut tail[0];
+                    for i in 0..m {
+                        let xp = cp[i];
+                        let xq = cq[i];
+                        cp[i] = c * xp - s * xq;
+                        cq[i] = s * xp + c * xq;
+                    }
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if !rotated {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(LinalgError::NoConvergence {
+                iterations: Self::MAX_SWEEPS,
+            });
+        }
+        // Singular values are column norms; U's columns the normalized columns.
+        let mut sv: Vec<(f64, usize)> = cols
+            .iter()
+            .enumerate()
+            .map(|(j, c)| (norm2(c), j))
+            .collect();
+        sv.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite singular values"));
+        let mut u = Matrix::zeros(m, n);
+        let mut vs = Matrix::zeros(n, n);
+        let mut singular_values = Vec::with_capacity(n);
+        let smax = sv.first().map(|x| x.0).unwrap_or(0.0);
+        for (k, &(s, j)) in sv.iter().enumerate() {
+            singular_values.push(s);
+            if s > smax * 1e-300 && s > 0.0 {
+                let inv = 1.0 / s;
+                for i in 0..m {
+                    u[(i, k)] = cols[j][i] * inv;
+                }
+            }
+            for i in 0..n {
+                vs[(i, k)] = v[(i, j)];
+            }
+        }
+        Ok(Svd {
+            u,
+            singular_values,
+            v: vs,
+        })
+    }
+
+    /// Left singular vectors (`m × n`, orthonormal columns).
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// Singular values in descending order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// Right singular vectors (`n × n`, orthogonal).
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// 2-norm condition number `σ_max / σ_min` (`∞` if `σ_min = 0`).
+    pub fn condition_number(&self) -> f64 {
+        let smax = *self.singular_values.first().unwrap_or(&0.0);
+        let smin = *self.singular_values.last().unwrap_or(&0.0);
+        if smin == 0.0 {
+            f64::INFINITY
+        } else {
+            smax / smin
+        }
+    }
+
+    /// Numerical rank at relative tolerance `rtol` (singular values
+    /// above `rtol · σ_max` count).
+    pub fn rank(&self, rtol: f64) -> usize {
+        let smax = *self.singular_values.first().unwrap_or(&0.0);
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > rtol * smax)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+        Matrix::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = rand_matrix(9, 5, 1);
+        let svd = Svd::new(&a).unwrap();
+        let s = Matrix::from_diag(svd.singular_values());
+        let rec = svd
+            .u()
+            .matmul(&s)
+            .unwrap()
+            .matmul(&svd.v().transpose())
+            .unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn factors_orthonormal() {
+        let a = rand_matrix(10, 6, 2);
+        let svd = Svd::new(&a).unwrap();
+        assert!(svd.u().gram().max_abs_diff(&Matrix::identity(6)).unwrap() < 1e-11);
+        assert!(svd.v().gram().max_abs_diff(&Matrix::identity(6)).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let a = rand_matrix(12, 7, 3);
+        let svd = Svd::new(&a).unwrap();
+        let s = svd.singular_values();
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn rank_of_rank_deficient_matrix() {
+        // Rank-2 matrix: third column = col0 + col1.
+        let base = rand_matrix(8, 2, 7);
+        let a = Matrix::from_fn(8, 3, |r, c| match c {
+            0 | 1 => base[(r, c)],
+            _ => base[(r, 0)] + base[(r, 1)],
+        });
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 2);
+        assert!(svd.condition_number() > 1e10);
+    }
+
+    #[test]
+    fn identity_has_unit_singular_values() {
+        let svd = Svd::new(&Matrix::identity(4)).unwrap();
+        for &s in svd.singular_values() {
+            assert!((s - 1.0).abs() < 1e-13);
+        }
+        assert!((svd.condition_number() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_rejected() {
+        assert!(Svd::new(&Matrix::zeros(2, 5)).is_err());
+    }
+}

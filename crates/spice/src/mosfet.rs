@@ -1,0 +1,306 @@
+//! Square-law (SPICE level-1 style) MOSFET model.
+//!
+//! The model captures exactly the behaviour the variability-modeling
+//! experiments need: a smooth, strongly-nonlinear drain current with
+//! threshold-voltage and transconductance-parameter sensitivity, plus
+//! small-signal `gm`/`gds` for AC analysis. Body effect is omitted
+//! (`V_BS = 0` in all benchmark circuits).
+
+/// MOSFET polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosType {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Device model-card + geometry parameters.
+///
+/// `kp` is the process transconductance `µ·C_ox` (A/V²); the effective
+/// device transconductance factor is `kp·W/L`.
+#[derive(Debug, Clone, Copy)]
+pub struct MosParams {
+    /// Polarity.
+    pub mos_type: MosType,
+    /// Zero-bias threshold voltage (positive for both polarities;
+    /// interpreted as `|V_th|`).
+    pub vth0: f64,
+    /// Process transconductance `µ·C_ox` in A/V².
+    pub kp: f64,
+    /// Channel-length modulation coefficient (1/V).
+    pub lambda: f64,
+    /// Channel width (m).
+    pub w: f64,
+    /// Channel length (m).
+    pub l: f64,
+}
+
+impl MosParams {
+    /// A representative 65 nm-class NMOS card.
+    pub fn nmos_65nm() -> Self {
+        MosParams {
+            mos_type: MosType::Nmos,
+            vth0: 0.35,
+            kp: 300e-6,
+            lambda: 0.20,
+            w: 200e-9,
+            l: 65e-9,
+        }
+    }
+
+    /// A representative 65 nm-class PMOS card (mobility ≈ ⅖ of NMOS).
+    pub fn pmos_65nm() -> Self {
+        MosParams {
+            mos_type: MosType::Pmos,
+            vth0: 0.35,
+            kp: 120e-6,
+            lambda: 0.25,
+            w: 400e-9,
+            l: 65e-9,
+        }
+    }
+
+    /// Effective transconductance factor `β = kp·W/L` (A/V²).
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.kp * self.w / self.l
+    }
+
+    /// Returns a copy with width scaled by `s` (device sizing helper).
+    pub fn scaled_width(mut self, s: f64) -> Self {
+        self.w *= s;
+        self
+    }
+}
+
+/// Evaluated large- and small-signal state of one MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosEval {
+    /// Drain current flowing drain→source for NMOS (source→drain for
+    /// PMOS), in the *device* reference direction: positive `id` always
+    /// leaves the drain node of an NMOS and enters the drain of a PMOS
+    /// after the polarity mapping in [`eval`].
+    pub id: f64,
+    /// Transconductance `∂I_D/∂V_GS`.
+    pub gm: f64,
+    /// Output conductance `∂I_D/∂V_DS`.
+    pub gds: f64,
+}
+
+/// Evaluates the level-1 model at terminal voltages `vgs`, `vds`
+/// (NMOS convention; PMOS inputs are internally reflected).
+///
+/// Returns current and derivatives in NMOS convention: for a PMOS the
+/// caller must negate the current and keep the conductances positive —
+/// [`eval_device`] does this mapping.
+pub fn eval(params: &MosParams, vgs: f64, vds: f64) -> MosEval {
+    // Polarity reflection: PMOS behaves as NMOS in (−vgs, −vds).
+    let (vgs, vds, sign) = match params.mos_type {
+        MosType::Nmos => (vgs, vds, 1.0),
+        MosType::Pmos => (-vgs, -vds, -1.0),
+    };
+    // Source-drain exchange for vds < 0 (square-law model is symmetric).
+    let (vgs_eff, vds_eff, flip) = if vds >= 0.0 {
+        (vgs, vds, 1.0)
+    } else {
+        (vgs - vds, -vds, -1.0)
+    };
+    let beta = params.beta();
+    let vov = vgs_eff - params.vth0;
+    let (mut id, mut gm, mut gds);
+    if vov <= 0.0 {
+        // Cutoff: exponential-free model → exactly zero current. A gmin
+        // in the assembly keeps the matrix nonsingular.
+        id = 0.0;
+        gm = 0.0;
+        gds = 0.0;
+    } else if vds_eff < vov {
+        // Triode.
+        let clm = 1.0 + params.lambda * vds_eff;
+        id = beta * (vov * vds_eff - 0.5 * vds_eff * vds_eff) * clm;
+        gm = beta * vds_eff * clm;
+        gds = beta
+            * ((vov - vds_eff) * clm + (vov * vds_eff - 0.5 * vds_eff * vds_eff) * params.lambda);
+    } else {
+        // Saturation with channel-length modulation.
+        let clm = 1.0 + params.lambda * vds_eff;
+        id = 0.5 * beta * vov * vov * clm;
+        gm = beta * vov * clm;
+        gds = 0.5 * beta * vov * vov * params.lambda;
+    }
+    // Undo the source-drain exchange. With terminals swapped,
+    //   I_D(vgs, vds) = −I_D'(vgs − vds, −vds),
+    // so by the chain rule ∂/∂vgs = −gm' and ∂/∂vds = gm' + gds'.
+    if flip < 0.0 {
+        id = -id;
+        let gds_new = gm + gds;
+        gm = -gm;
+        gds = gds_new;
+    }
+    MosEval {
+        id: sign * id,
+        gm,
+        gds,
+    }
+}
+
+/// Evaluates a device given *node* voltages `(vd, vg, vs)` and returns
+/// the current flowing **into the drain terminal** plus conductances
+/// suitable for direct MNA stamping in node coordinates:
+///
+/// `i_d(vd, vg, vs) ≈ i_d0 + gm·(Δvg − Δvs) + gds·(Δvd − Δvs)`.
+pub fn eval_device(params: &MosParams, vd: f64, vg: f64, vs: f64) -> MosEval {
+    // `eval` already returns id in the "into the drain" convention for
+    // both polarities, with gm/gds being the true node-space partials
+    // ∂i_d/∂vgs and ∂i_d/∂vds (the PMOS reflection is sign-consistent:
+    // i_d = −id'(−vgs, −vds) ⇒ ∂i_d/∂vgs = gm', ∂i_d/∂vds = gds').
+    eval(params, vg - vs, vd - vs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosParams {
+        MosParams {
+            mos_type: MosType::Nmos,
+            vth0: 0.4,
+            kp: 200e-6,
+            lambda: 0.1,
+            w: 1e-6,
+            l: 100e-9,
+        }
+    }
+
+    #[test]
+    fn cutoff_is_zero() {
+        let e = eval(&nmos(), 0.3, 1.0);
+        assert_eq!(e.id, 0.0);
+        assert_eq!(e.gm, 0.0);
+        assert_eq!(e.gds, 0.0);
+    }
+
+    #[test]
+    fn saturation_current_formula() {
+        let p = nmos();
+        let e = eval(&p, 1.0, 1.2);
+        let vov: f64 = 0.6;
+        let expect = 0.5 * p.beta() * vov * vov * (1.0 + p.lambda * 1.2);
+        assert!((e.id - expect).abs() / expect < 1e-12);
+        assert!(e.gm > 0.0 && e.gds > 0.0);
+    }
+
+    #[test]
+    fn triode_current_formula() {
+        let p = nmos();
+        let e = eval(&p, 1.0, 0.2);
+        let expect = p.beta() * (0.6 * 0.2 - 0.5 * 0.04) * (1.0 + p.lambda * 0.2);
+        assert!((e.id - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn continuity_at_saturation_boundary() {
+        let p = nmos();
+        let vov = 0.6;
+        let lo = eval(&p, 1.0, vov - 1e-9);
+        let hi = eval(&p, 1.0, vov + 1e-9);
+        assert!((lo.id - hi.id).abs() < 1e-9 * lo.id.max(1e-30));
+        assert!((lo.gm - hi.gm).abs() / hi.gm < 1e-6);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let p = nmos();
+        let h = 1e-7;
+        for &(vgs, vds) in &[(0.8, 0.1), (0.8, 1.5), (1.2, 0.3), (0.45, 2.0)] {
+            let e = eval(&p, vgs, vds);
+            let fgm = (eval(&p, vgs + h, vds).id - eval(&p, vgs - h, vds).id) / (2.0 * h);
+            let fgd = (eval(&p, vgs, vds + h).id - eval(&p, vgs, vds - h).id) / (2.0 * h);
+            assert!(
+                (e.gm - fgm).abs() < 1e-6 * (1.0 + fgm.abs()),
+                "gm at {vgs},{vds}"
+            );
+            assert!(
+                (e.gds - fgd).abs() < 1e-6 * (1.0 + fgd.abs()),
+                "gds at {vgs},{vds}"
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_mode_antisymmetric() {
+        // With vds < 0 the device conducts backwards (terminals swap).
+        let p = nmos();
+        let fwd = eval(&p, 1.2, 0.5);
+        let rev = eval(&p, 1.2 - 0.5, -0.5);
+        assert!((fwd.id + rev.id).abs() < 1e-12 * fwd.id.abs().max(1e-30));
+    }
+
+    #[test]
+    fn reverse_mode_derivatives_match_fd() {
+        let p = nmos();
+        let h = 1e-7;
+        let (vgs, vds) = (0.9, -0.7);
+        let e = eval(&p, vgs, vds);
+        let fgm = (eval(&p, vgs + h, vds).id - eval(&p, vgs - h, vds).id) / (2.0 * h);
+        let fgd = (eval(&p, vgs, vds + h).id - eval(&p, vgs, vds - h).id) / (2.0 * h);
+        assert!(
+            (e.gm - fgm).abs() < 1e-5 * (1.0 + fgm.abs()),
+            "gm {} vs {fgm}",
+            e.gm
+        );
+        assert!(
+            (e.gds - fgd).abs() < 1e-5 * (1.0 + fgd.abs()),
+            "gds {} vs {fgd}",
+            e.gds
+        );
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let n = nmos();
+        let p = MosParams {
+            mos_type: MosType::Pmos,
+            ..n
+        };
+        let en = eval(&n, 1.0, 1.5);
+        let ep = eval(&p, -1.0, -1.5);
+        assert!((en.id + ep.id).abs() < 1e-15);
+        assert!((en.gm - ep.gm).abs() < 1e-15);
+        assert!((en.gds - ep.gds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pmos_derivatives_match_fd_in_node_space() {
+        let p = MosParams {
+            mos_type: MosType::Pmos,
+            ..nmos()
+        };
+        // PMOS in a typical configuration: source at 1.2 V, drain low.
+        let (vd, vg, vs) = (0.4, 0.2, 1.2);
+        let e = eval_device(&p, vd, vg, vs);
+        assert!(
+            e.id < 0.0,
+            "PMOS drain current should flow out of drain node: {}",
+            e.id
+        );
+        let h = 1e-7;
+        let f_gm =
+            (eval_device(&p, vd, vg + h, vs).id - eval_device(&p, vd, vg - h, vs).id) / (2.0 * h);
+        let f_gds =
+            (eval_device(&p, vd + h, vg, vs).id - eval_device(&p, vd - h, vg, vs).id) / (2.0 * h);
+        // vgs = vg − vs and vds = vd − vs, so the node-space FDs equal
+        // the returned derivatives directly.
+        assert!((e.gm - f_gm).abs() < 1e-6 * (1.0 + f_gm.abs()));
+        assert!((e.gds - f_gds).abs() < 1e-6 * (1.0 + f_gds.abs()));
+    }
+
+    #[test]
+    fn beta_and_scaling() {
+        let p = nmos();
+        assert!((p.beta() - 200e-6 * 10.0).abs() < 1e-12);
+        let wide = p.scaled_width(2.0);
+        assert!((wide.beta() - 2.0 * p.beta()).abs() < 1e-12);
+    }
+}

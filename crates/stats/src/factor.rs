@@ -1,0 +1,273 @@
+//! Factor-form Gaussian variation models.
+//!
+//! The paper's SRAM example has 21 310 correlated process parameters;
+//! its dense 21 310² covariance would be 3.6 GB and its Jacobi
+//! eigendecomposition intractable. Real variation models, however, are
+//! naturally *structured*: a handful of shared inter-die factors plus
+//! independent per-device mismatch,
+//!
+//! `ΔX = L·z_g + D^{1/2}·z_l`,  `Σ = L·Lᵀ + D`,
+//!
+//! with `L ∈ R^{N×r}` (`r ≪ N`) and `D` diagonal. In this form the
+//! model *is already* a linear map from `r + N` independent
+//! standard-normal factors — exactly the post-PCA representation the
+//! paper assumes — so whitening is available by construction and no
+//! dense eigendecomposition is needed.
+
+use crate::rng::NormalSampler;
+use rsm_linalg::{LinalgError, Matrix, Result};
+
+/// A Gaussian model `ΔX = L·z_g + D^{1/2}·z_l` over `N` parameters with
+/// `r` shared factors, equivalent to `ΔX ~ N(0, L·Lᵀ + D)`.
+///
+/// The concatenated vector `ΔY = [z_g; z_l] ∈ R^{r+N}` of independent
+/// standard normals plays the role of the paper's post-PCA variables.
+///
+/// # Example
+///
+/// ```
+/// use rsm_linalg::Matrix;
+/// use rsm_stats::{FactorModel, NormalSampler};
+/// // Two parameters sharing one global factor plus local mismatch.
+/// let l = Matrix::from_rows(&[&[0.8], &[0.8]]).unwrap();
+/// let model = FactorModel::new(l, vec![0.36, 0.36]).unwrap();
+/// assert_eq!(model.latent_dim(), 3); // 1 global + 2 local
+/// let mut s = NormalSampler::seed_from_u64(1);
+/// let dx = model.sample(&mut s);
+/// assert_eq!(dx.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FactorModel {
+    /// `N × r` loading matrix.
+    loadings: Matrix,
+    /// Per-parameter independent variances (diagonal of `D`).
+    diag_var: Vec<f64>,
+    /// Cached `sqrt` of `diag_var`.
+    diag_sd: Vec<f64>,
+}
+
+impl FactorModel {
+    /// Builds a factor model from loadings and independent variances.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::ShapeMismatch`] if `diag_var.len()` differs from
+    ///   the loading row count;
+    /// - [`LinalgError::InvalidArgument`] if any variance is negative or
+    ///   non-finite.
+    pub fn new(loadings: Matrix, diag_var: Vec<f64>) -> Result<Self> {
+        if diag_var.len() != loadings.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("{} diagonal variances", loadings.rows()),
+                found: format!("{}", diag_var.len()),
+            });
+        }
+        if diag_var.iter().any(|&v| v < 0.0 || !v.is_finite()) {
+            return Err(LinalgError::InvalidArgument(
+                "diagonal variances must be finite and non-negative".into(),
+            ));
+        }
+        let diag_sd = diag_var.iter().map(|v| v.sqrt()).collect();
+        Ok(FactorModel {
+            loadings,
+            diag_var,
+            diag_sd,
+        })
+    }
+
+    /// A purely independent model (`r = 0`) with the given variances.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    pub fn independent(diag_var: Vec<f64>) -> Result<Self> {
+        let n = diag_var.len();
+        Self::new(Matrix::zeros(n, 0), diag_var)
+    }
+
+    /// Number of physical parameters `N`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.loadings.rows()
+    }
+
+    /// Number of shared factors `r`.
+    #[inline]
+    pub fn num_factors(&self) -> usize {
+        self.loadings.cols()
+    }
+
+    /// Total number of independent latent variables `r + N` — the
+    /// dimension of the paper's `ΔY`.
+    #[inline]
+    pub fn latent_dim(&self) -> usize {
+        self.num_factors() + self.dim()
+    }
+
+    /// The loading matrix `L`.
+    pub fn loadings(&self) -> &Matrix {
+        &self.loadings
+    }
+
+    /// Independent (mismatch) variances — the diagonal of `D`.
+    pub fn diag_var(&self) -> &[f64] {
+        &self.diag_var
+    }
+
+    /// Maps independent standard normals `ΔY = [z_g; z_l]` to the
+    /// correlated parameter deltas `ΔX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy.len() != latent_dim()`.
+    pub fn color(&self, dy: &[f64]) -> Vec<f64> {
+        let (n, r) = (self.dim(), self.num_factors());
+        assert_eq!(dy.len(), r + n, "color: latent dimension mismatch");
+        let (zg, zl) = dy.split_at(r);
+        let mut x = vec![0.0; n];
+        for (i, xi) in x.iter_mut().enumerate() {
+            let mut s = 0.0;
+            let lrow = self.loadings.row(i);
+            for (j, &z) in zg.iter().enumerate() {
+                s += lrow[j] * z;
+            }
+            *xi = s + self.diag_sd[i] * zl[i];
+        }
+        x
+    }
+
+    /// Draws one correlated sample `ΔX`.
+    pub fn sample(&self, sampler: &mut NormalSampler) -> Vec<f64> {
+        let dy = sampler.sample_vec(self.latent_dim());
+        self.color(&dy)
+    }
+
+    /// Marginal variance of parameter `i`: `Σ_ii = Σ_j L_ij² + D_ii`.
+    pub fn marginal_variance(&self, i: usize) -> f64 {
+        let lrow = self.loadings.row(i);
+        lrow.iter().map(|l| l * l).sum::<f64>() + self.diag_var[i]
+    }
+
+    /// Covariance between parameters `i` and `j` (`i ≠ j` ⇒ only the
+    /// shared-factor part contributes).
+    pub fn covariance(&self, i: usize, j: usize) -> f64 {
+        let li = self.loadings.row(i);
+        let lj = self.loadings.row(j);
+        let shared: f64 = li.iter().zip(lj).map(|(a, b)| a * b).sum();
+        if i == j {
+            shared + self.diag_var[i]
+        } else {
+            shared
+        }
+    }
+
+    /// Materializes the dense covariance `Σ = L·Lᵀ + D`.
+    ///
+    /// Only sensible for small `N` (tests, the 630-variable OpAmp).
+    pub fn dense_covariance(&self) -> Matrix {
+        let n = self.dim();
+        let mut cov = Matrix::from_fn(n, n, |i, j| self.covariance(i, j));
+        for i in 0..n {
+            cov[(i, i)] = self.marginal_variance(i);
+        }
+        cov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe;
+
+    fn toy_model() -> FactorModel {
+        let l = Matrix::from_rows(&[&[0.6, 0.0], &[0.6, 0.3], &[0.0, 0.5]]).unwrap();
+        FactorModel::new(l, vec![0.25, 0.04, 0.09]).unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let m = toy_model();
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.num_factors(), 2);
+        assert_eq!(m.latent_dim(), 5);
+    }
+
+    #[test]
+    fn covariance_formulas() {
+        let m = toy_model();
+        assert!((m.marginal_variance(0) - (0.36 + 0.25)).abs() < 1e-15);
+        assert!((m.covariance(0, 1) - 0.36).abs() < 1e-15);
+        assert!((m.covariance(0, 2) - 0.0).abs() < 1e-15);
+        assert!((m.covariance(1, 2) - 0.15).abs() < 1e-15);
+        let dense = m.dense_covariance();
+        assert!((dense[(1, 1)] - m.marginal_variance(1)).abs() < 1e-15);
+        assert!((dense[(2, 1)] - dense[(1, 2)]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sample_covariance_matches_model() {
+        let m = toy_model();
+        let mut s = NormalSampler::seed_from_u64(3);
+        let k = 80_000;
+        let mut acc = Matrix::zeros(3, 3);
+        for _ in 0..k {
+            let x = m.sample(&mut s);
+            for i in 0..3 {
+                for j in 0..3 {
+                    acc[(i, j)] += x[i] * x[j];
+                }
+            }
+        }
+        acc.scale(1.0 / k as f64);
+        assert!(acc.max_abs_diff(&m.dense_covariance()).unwrap() < 0.02);
+    }
+
+    #[test]
+    fn color_is_linear_and_deterministic() {
+        let m = toy_model();
+        let dy = [1.0, -1.0, 0.5, 0.0, 2.0];
+        let x1 = m.color(&dy);
+        let x2 = m.color(&dy);
+        assert_eq!(x1, x2);
+        let scaled: Vec<f64> = dy.iter().map(|v| 2.0 * v).collect();
+        let xs = m.color(&scaled);
+        for (a, b) in xs.iter().zip(&x1) {
+            assert!((a - 2.0 * b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn independent_model_has_no_cross_covariance() {
+        let m = FactorModel::independent(vec![1.0, 4.0]).unwrap();
+        assert_eq!(m.num_factors(), 0);
+        assert_eq!(m.covariance(0, 1), 0.0);
+        assert!((m.marginal_variance(1) - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let l = Matrix::zeros(3, 1);
+        assert!(FactorModel::new(l.clone(), vec![1.0, 1.0]).is_err());
+        assert!(FactorModel::new(l.clone(), vec![1.0, -0.1, 1.0]).is_err());
+        assert!(FactorModel::new(l, vec![1.0, f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn whitened_latents_drive_marginals() {
+        // Var of each ΔX_i from sampling should match marginal_variance.
+        let m = toy_model();
+        let mut s = NormalSampler::seed_from_u64(8);
+        let k = 60_000;
+        let mut cols: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(k)).collect();
+        for _ in 0..k {
+            let x = m.sample(&mut s);
+            for (c, v) in cols.iter_mut().zip(&x) {
+                c.push(*v);
+            }
+        }
+        for i in 0..3 {
+            let v = describe::variance(&cols[i]);
+            assert!((v - m.marginal_variance(i)).abs() < 0.02, "var {i}");
+        }
+    }
+}

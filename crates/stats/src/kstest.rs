@@ -1,0 +1,147 @@
+//! Two-sample Kolmogorov–Smirnov comparison.
+//!
+//! The paper's motivating application is predicting performance
+//! *distributions* from the fitted model instead of running more
+//! simulations. The KS statistic quantifies whether the model-predicted
+//! distribution actually matches the simulator's — the end-to-end
+//! validation the examples and integration tests use.
+
+/// Result of a two-sample KS comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup_x |F₁(x) − F₂(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value for the null hypothesis that both samples
+    /// come from the same distribution (Kolmogorov distribution with
+    /// the effective sample size).
+    pub p_value: f64,
+}
+
+/// Two-sample KS test.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS test needs data");
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_by(|p, q| p.partial_cmp(q).expect("finite samples"));
+    xb.sort_by(|p, q| p.partial_cmp(q).expect("finite samples"));
+    let (na, nb) = (xa.len(), xb.len());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d = 0.0f64;
+    while i < na && j < nb {
+        let x = xa[i].min(xb[j]);
+        while i < na && xa[i] <= x {
+            i += 1;
+        }
+        while j < nb && xb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let ne = (na as f64 * nb as f64) / (na + nb) as f64;
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// The Kolmogorov survival function
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2k²λ²)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::NormalSampler;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let r = ks_two_sample(&x, &x);
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_distribution_not_rejected() {
+        let mut s = NormalSampler::seed_from_u64(1);
+        let a = s.sample_vec(2000);
+        let b = s.sample_vec(2000);
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic < 0.05, "D = {}", r.statistic);
+        assert!(r.p_value > 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let mut s = NormalSampler::seed_from_u64(2);
+        let a = s.sample_vec(2000);
+        let b: Vec<f64> = s.sample_vec(2000).iter().map(|v| v + 0.5).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic > 0.15, "D = {}", r.statistic);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn scaled_distribution_rejected() {
+        let mut s = NormalSampler::seed_from_u64(3);
+        let a = s.sample_vec(3000);
+        let b: Vec<f64> = s.sample_vec(3000).iter().map(|v| v * 2.0).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // F₁ jumps at {0,1}, F₂ at {0.5, 1.5}: D = 0.5.
+        let a = [0.0, 1.0];
+        let b = [0.5, 1.5];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_sizes_supported() {
+        let mut s = NormalSampler::seed_from_u64(4);
+        let a = s.sample_vec(100);
+        let b = s.sample_vec(5000);
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic < 0.2);
+        assert!(r.p_value > 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_sample_panics() {
+        let _ = ks_two_sample(&[], &[1.0]);
+    }
+
+    #[test]
+    fn kolmogorov_q_endpoints() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.5) > 0.9);
+        assert!(kolmogorov_q(2.0) < 1e-3);
+    }
+}

@@ -1,0 +1,228 @@
+//! Latin hypercube sampling (LHS) in the standard-normal space.
+//!
+//! The paper deliberately replaces classical design-of-experiments
+//! sampling with plain Monte-Carlo draws from `pdf(ΔY)` so that the
+//! inner-product estimator of Eq. (14) is unbiased. LHS is the natural
+//! middle ground — still random, but stratified per coordinate — and
+//! the `sampling_ablation` experiment quantifies what it buys at the
+//! paper's sample counts. The normal-space mapping needs the inverse
+//! normal CDF, implemented here (Acklam's rational approximation,
+//! |relative error| < 1.2e-9).
+
+use crate::rng::NormalSampler;
+use rsm_linalg::Matrix;
+
+/// Inverse CDF (quantile function) of the standard normal
+/// distribution, `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// Uses Peter Acklam's rational approximation with one Halley
+/// refinement step; absolute error below 1e-12 across the open unit
+/// interval. Returns `±∞` at `p ∈ {0, 1}` and NaN outside `[0, 1]`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement against the forward CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Standard normal CDF `Φ(x)` via the complementary error function
+/// (Abramowitz–Stegun 7.1.26-style rational approximation refined for
+/// double precision using symmetry).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc_scaled(-x * std::f64::consts::FRAC_1_SQRT_2)
+}
+
+/// `erfc(x)` with ~1e-15 accuracy (Cody-style rational kernels).
+fn erfc_scaled(x: f64) -> f64 {
+    // Use the symmetric relation for negative arguments.
+    if x < 0.0 {
+        return 2.0 - erfc_scaled(-x);
+    }
+    // Series for small x: erf(x) converges quickly.
+    if x < 2.0 {
+        // erf(x) = 2/√π Σ (−1)ⁿ x^{2n+1} / (n!(2n+1))
+        let mut term = x;
+        let mut sum = x;
+        let x2 = x * x;
+        let mut n = 0usize;
+        while term.abs() > 1e-18 * sum.abs() && n < 200 {
+            n += 1;
+            term *= -x2 / n as f64;
+            sum += term / (2 * n + 1) as f64;
+        }
+        1.0 - 2.0 / std::f64::consts::PI.sqrt() * sum
+    } else {
+        // Continued fraction for the tail.
+        let mut cf = 0.0;
+        for k in (1..=60).rev() {
+            cf = 0.5 * k as f64 / (x + cf);
+        }
+        (-x * x).exp() / ((x + cf) * std::f64::consts::PI.sqrt())
+    }
+}
+
+/// Draws a `k × n` Latin hypercube sample in standard-normal space:
+/// each column is stratified into `k` equal-probability bins with one
+/// point per bin (uniform within the bin), independently permuted per
+/// column, then mapped through `Φ⁻¹`.
+pub fn latin_hypercube_normal(k: usize, n: usize, sampler: &mut NormalSampler) -> Matrix {
+    let mut out = Matrix::zeros(k, n);
+    let mut perm: Vec<usize> = (0..k).collect();
+    for c in 0..n {
+        sampler.shuffle(&mut perm);
+        for (r, &stratum) in perm.iter().enumerate() {
+            let u = (stratum as f64 + sampler.uniform()) / k as f64;
+            out[(r, c)] = inverse_normal_cdf(u.clamp(1e-15, 1.0 - 1e-15));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe;
+
+    #[test]
+    fn inverse_cdf_known_values() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-12);
+        // Φ⁻¹(0.975) ≈ 1.959964
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-5);
+        // Φ⁻¹(0.8413…) ≈ 1 (one sigma)
+        assert!((inverse_normal_cdf(0.841344746) - 1.0).abs() < 1e-6);
+        assert_eq!(inverse_normal_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inverse_normal_cdf(1.0), f64::INFINITY);
+        assert!(inverse_normal_cdf(-0.1).is_nan());
+    }
+
+    #[test]
+    fn cdf_and_inverse_are_mutual_inverses() {
+        for &p in &[1e-8, 1e-4, 0.01, 0.2, 0.5, 0.8, 0.99, 1.0 - 1e-6] {
+            let x = inverse_normal_cdf(p);
+            let back = normal_cdf(x);
+            assert!((back - p).abs() < 1e-10, "p={p}: back={back}");
+        }
+        for &x in &[-6.0, -2.0, -0.5, 0.0, 0.5, 2.0, 6.0] {
+            let p = normal_cdf(x);
+            let back = inverse_normal_cdf(p);
+            assert!((back - x).abs() < 1e-7, "x={x}: back={back}");
+        }
+    }
+
+    #[test]
+    fn cdf_symmetry_and_monotone() {
+        for &x in &[0.1, 0.7, 1.3, 2.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-14);
+        }
+        let mut last = 0.0;
+        for i in 1..100 {
+            let v = normal_cdf(-5.0 + 0.1 * i as f64);
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn lhs_is_stratified_per_column() {
+        let mut s = NormalSampler::seed_from_u64(9);
+        let k = 64;
+        let m = latin_hypercube_normal(k, 3, &mut s);
+        for c in 0..3 {
+            // Mapping back through Φ must give exactly one point per
+            // stratum [i/k, (i+1)/k).
+            let mut hit = vec![false; k];
+            for r in 0..k {
+                let u = normal_cdf(m[(r, c)]);
+                let bin = ((u * k as f64) as usize).min(k - 1);
+                assert!(!hit[bin], "two points in stratum {bin} of column {c}");
+                hit[bin] = true;
+            }
+            assert!(hit.iter().all(|&h| h));
+        }
+    }
+
+    #[test]
+    fn lhs_has_tighter_moments_than_mc() {
+        // Variance of the sample mean is much smaller under LHS.
+        let trials = 200;
+        let k = 50;
+        let mut mc_means = Vec::new();
+        let mut lhs_means = Vec::new();
+        let mut s = NormalSampler::seed_from_u64(31);
+        for _ in 0..trials {
+            let mc: Vec<f64> = s.sample_vec(k);
+            mc_means.push(describe::mean(&mc));
+            let l = latin_hypercube_normal(k, 1, &mut s);
+            lhs_means.push(describe::mean(&l.col(0)));
+        }
+        let v_mc = describe::variance(&mc_means);
+        let v_lhs = describe::variance(&lhs_means);
+        assert!(
+            v_lhs < v_mc / 10.0,
+            "LHS mean-variance {v_lhs} not ≪ MC {v_mc}"
+        );
+    }
+
+    #[test]
+    fn lhs_columns_are_independent_ish() {
+        let mut s = NormalSampler::seed_from_u64(4);
+        let m = latin_hypercube_normal(500, 2, &mut s);
+        let rho = describe::correlation(&m.col(0), &m.col(1));
+        assert!(rho.abs() < 0.1, "column correlation {rho}");
+    }
+}

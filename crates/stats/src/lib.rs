@@ -1,0 +1,40 @@
+//! Statistics substrate for the `sparse-rsm` workspace.
+//!
+//! Provides everything the modeling pipeline needs around the solvers:
+//!
+//! - [`rng`] — deterministic standard-normal sampling (Marsaglia polar
+//!   method over a seedable PRNG), since the paper draws its sampling
+//!   points from the joint PDF of the post-PCA variables;
+//! - [`describe`] — descriptive statistics and empirical quantiles;
+//! - [`metrics`] — the relative modeling-error measures reported in the
+//!   paper's figures and tables;
+//! - [`pca`] — principal component analysis / whitening of correlated
+//!   jointly-normal process parameters (Section II of the paper);
+//! - [`factor`] — factor-form Gaussian models `Σ = L·Lᵀ + D` that scale
+//!   to the paper's 21 310-variable SRAM example without ever forming a
+//!   dense covariance;
+//! - [`crossval`] — the Q-fold cross-validation splitter of Fig. 2;
+//! - [`lhs`] — Latin hypercube sampling in normal space (plus the
+//!   inverse normal CDF), used by the sampling-strategy ablation;
+//! - [`kstest`] — two-sample Kolmogorov–Smirnov comparison for
+//!   validating model-predicted performance distributions.
+
+// Numerical kernels index several parallel arrays inside one loop;
+// iterator-zip rewrites obscure the math, so the range-loop lint is
+// disabled crate-wide.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod crossval;
+pub mod describe;
+pub mod factor;
+pub mod kstest;
+pub mod lhs;
+pub mod metrics;
+pub mod pca;
+pub mod rng;
+
+pub use crossval::QFold;
+pub use factor::FactorModel;
+pub use pca::Pca;
+pub use rng::NormalSampler;

@@ -1,0 +1,161 @@
+//! Standard-normal sampling.
+//!
+//! The paper draws its training and testing points "randomly … based on
+//! the probability density function pdf(ΔY)" — i.e. i.i.d. standard
+//! normals after PCA. `rand` alone (without `rand_distr`) only offers
+//! uniforms, so we implement the Marsaglia polar transform here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable generator of standard-normal variates.
+///
+/// Uses the Marsaglia polar method with one cached variate, on top of
+/// [`rand::rngs::StdRng`], so runs are exactly reproducible from a seed.
+///
+/// # Example
+///
+/// ```
+/// use rsm_stats::NormalSampler;
+/// let mut s = NormalSampler::seed_from_u64(42);
+/// let x = s.sample();
+/// let v = s.sample_vec(10);
+/// assert_eq!(v.len(), 10);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NormalSampler {
+    rng: StdRng,
+    cached: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with the given 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        NormalSampler {
+            rng: StdRng::seed_from_u64(seed),
+            cached: None,
+        }
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(v) = self.cached.take() {
+            return v;
+        }
+        loop {
+            let u: f64 = self.rng.random::<f64>() * 2.0 - 1.0;
+            let v: f64 = self.rng.random::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.cached = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Draws `n` standard-normal variates into a fresh vector.
+    pub fn sample_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+
+    /// Fills a slice with standard-normal variates.
+    pub fn fill(&mut self, out: &mut [f64]) {
+        for v in out {
+            *v = self.sample();
+        }
+    }
+
+    /// Draws a uniform variate in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Draws a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_index: empty range");
+        self.rng.random_range(0..n)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.uniform_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe;
+
+    #[test]
+    fn reproducible_from_seed() {
+        let mut a = NormalSampler::seed_from_u64(7);
+        let mut b = NormalSampler::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NormalSampler::seed_from_u64(1);
+        let mut b = NormalSampler::seed_from_u64(2);
+        let va = a.sample_vec(16);
+        let vb = b.sample_vec(16);
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut s = NormalSampler::seed_from_u64(2024);
+        let xs = s.sample_vec(200_000);
+        let m = describe::mean(&xs);
+        let v = describe::variance(&xs);
+        let sk = describe::skewness(&xs);
+        let ku = describe::excess_kurtosis(&xs);
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((v - 1.0).abs() < 0.02, "var {v}");
+        assert!(sk.abs() < 0.03, "skew {sk}");
+        assert!(ku.abs() < 0.06, "kurt {ku}");
+    }
+
+    #[test]
+    fn tail_fractions_reasonable() {
+        let mut s = NormalSampler::seed_from_u64(5);
+        let xs = s.sample_vec(100_000);
+        let beyond2: f64 = xs.iter().filter(|x| x.abs() > 2.0).count() as f64 / xs.len() as f64;
+        // P(|Z|>2) ≈ 0.0455
+        assert!((beyond2 - 0.0455).abs() < 0.005, "{beyond2}");
+    }
+
+    #[test]
+    fn uniform_index_in_range_and_shuffle_is_permutation() {
+        let mut s = NormalSampler::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(s.uniform_index(7) < 7);
+        }
+        let mut v: Vec<usize> = (0..50).collect();
+        s.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn fill_fills_everything() {
+        let mut s = NormalSampler::seed_from_u64(9);
+        let mut buf = vec![0.0; 64];
+        s.fill(&mut buf);
+        assert!(buf.iter().any(|&x| x != 0.0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Drive the circuit simulator from a SPICE-style netlist: parse,
+//! bias, sweep, and measure — no Rust circuit-building code.
+//!
+//! Run: `cargo run --release --example netlist_sim`
+
+use sparse_rsm::spice::ac::{log_sweep, AcAnalysis};
+use sparse_rsm::spice::dc::DcAnalysis;
+use sparse_rsm::spice::measure;
+use sparse_rsm::spice::parser;
+
+const NETLIST: &str = "\
+* two-stage RC-loaded common-source amplifier
+V1 vdd 0 DC 1.2
+V2 in  0 DC 0.55 AC 1.0
+R1 vdd mid 30k
+M1 mid in 0 NMOS W=500n L=100n VTH=0.38 KP=250u LAMBDA=0.08
+C1 mid 0 50f
+R2 vdd out 20k
+M2 out mid 0 NMOS W=400n L=100n VTH=0.38 KP=250u LAMBDA=0.08
+C2 out 0 100f
+.end
+";
+
+fn main() {
+    println!("netlist:\n{NETLIST}");
+    let parsed = parser::parse(NETLIST).expect("parse");
+    let mid = parsed.node("mid").expect("node mid");
+    let out = parsed.node("out").expect("node out");
+
+    let op = DcAnalysis::default().solve(&parsed.circuit).expect("DC");
+    println!(
+        "DC operating point: v(mid) = {:.4} V, v(out) = {:.4} V",
+        op.voltage(mid),
+        op.voltage(out)
+    );
+    println!(
+        "supply current: {:.3} uA",
+        op.vsource_current(parsed.vsources["V1"]).abs() * 1e6
+    );
+
+    let freqs = log_sweep(1e3, 1e10, 12);
+    let sweep = AcAnalysis::default()
+        .sweep(&parsed.circuit, &op, &freqs)
+        .expect("AC");
+    let gain1 = measure::dc_gain(&sweep, mid).unwrap();
+    let gain2 = measure::dc_gain(&sweep, out).unwrap();
+    println!(
+        "\nstage gains: {:.1} dB (mid), {:.1} dB (out, two stages)",
+        measure::to_db(gain1),
+        measure::to_db(gain2)
+    );
+    println!(
+        "-3 dB bandwidth at out: {:.2} MHz",
+        measure::bandwidth_3db(&sweep, out).unwrap() / 1e6
+    );
+    match measure::unity_gain_freq(&sweep, out) {
+        Ok(fu) => println!("unity-gain frequency: {:.2} MHz", fu / 1e6),
+        Err(e) => println!("unity-gain frequency: {e}"),
+    }
+}

@@ -1,0 +1,80 @@
+//! Solver shootout on controlled synthetic problems: how the four
+//! methods behave as sparsity, noise and sample count vary.
+//!
+//! This is the "know your tool" companion to the circuit examples —
+//! the regimes where OMP's re-fit wins, where LAR's L1 path is
+//! competitive, and where STAR's greedy coefficients break down.
+//!
+//! Run: `cargo run --release --example solver_shootout`
+
+use sparse_rsm::core::{solver, Method, ModelOrder};
+use sparse_rsm::linalg::Matrix;
+use sparse_rsm::stats::metrics::relative_error;
+use sparse_rsm::stats::NormalSampler;
+
+/// Builds a `k × m` Gaussian dictionary and a `p`-sparse response with
+/// the given noise level. Returns `(G, F, G_test, F_test)`.
+fn problem(
+    k: usize,
+    m: usize,
+    p: usize,
+    noise: f64,
+    seed: u64,
+) -> (Matrix, Vec<f64>, Matrix, Vec<f64>) {
+    let mut rng = NormalSampler::seed_from_u64(seed);
+    let truth: Vec<(usize, f64)> = (0..p)
+        .map(|i| ((i * m / p + 11) % m, if i % 2 == 0 { 2.0 } else { -1.5 }))
+        .collect();
+    let gen = |k: usize, rng: &mut NormalSampler| {
+        let g = Matrix::from_fn(k, m, |_, _| rng.sample());
+        let f: Vec<f64> = (0..k)
+            .map(|r| truth.iter().map(|&(j, c)| c * g[(r, j)]).sum::<f64>() + noise * rng.sample())
+            .collect();
+        (g, f)
+    };
+    let (g, f) = gen(k, &mut rng);
+    let (gt, ft) = gen(2000, &mut rng);
+    (g, f, gt, ft)
+}
+
+fn row(label: &str, k: usize, m: usize, p: usize, noise: f64, seed: u64) {
+    let (g, f, gt, ft) = problem(k, m, p, noise, seed);
+    print!("{label:<34}");
+    for method in [Method::Star, Method::Lar, Method::LarLasso, Method::Omp] {
+        let rep = solver::fit(&g, &f, method, &ModelOrder::Fixed(p)).expect("fit");
+        let err = relative_error(&rep.model.predict_matrix(&gt), &ft);
+        print!("{:>11.2}%", err * 100.0);
+    }
+    // LS when possible.
+    if k > m {
+        let rep = solver::fit(&g, &f, Method::Ls, &ModelOrder::Fixed(0)).expect("LS");
+        let err = relative_error(&rep.model.predict_matrix(&gt), &ft);
+        println!("{:>11.2}%", err * 100.0);
+    } else {
+        println!("{:>12}", "n/a (K<M)");
+    }
+}
+
+fn main() {
+    println!(
+        "{:<34}{:>12}{:>12}{:>12}{:>12}{:>12}",
+        "scenario (K samples, M bases)", "STAR", "LAR", "LAR(lasso)", "OMP", "LS"
+    );
+    println!("{}", "-".repeat(94));
+    row("easy: K=200, M=100, p=5, clean", 200, 100, 5, 0.0, 1);
+    row("underdetermined: K=80, M=400", 80, 400, 5, 0.0, 2);
+    row("noisy: K=80, M=400, sigma=0.3", 80, 400, 5, 0.3, 3);
+    row("denser truth: K=150, M=400, p=25", 150, 400, 25, 0.1, 4);
+    row("very wide: K=100, M=5000, p=8", 100, 5000, 8, 0.05, 5);
+    row("barely enough: K=40, M=400, p=10", 40, 400, 10, 0.05, 6);
+    println!(
+        "\nReading guide: all sparse solvers match on easy/clean problems.\n\
+         The OMP re-fit pays off as noise and density grow. STAR degrades\n\
+         because its coefficients are never re-estimated. LAR at lambda = p\n\
+         steps is handicapped on dense truths: its path coefficients are\n\
+         L1-shrunk until well past p steps, which is why practitioners give\n\
+         it a longer path and cross-validate (as the circuit experiments do).\n\
+         Everything breaks at K ~ 4x sparsity (last row) — the O(P log M)\n\
+         sample bound of Section IV is not just a formality."
+    );
+}

@@ -1,0 +1,117 @@
+//! The paper's motivating application, validated end-to-end: once a
+//! sparse model is fit, the *model* predicts the performance
+//! distribution in place of further simulation. These tests check that
+//! the model-generated distribution is statistically indistinguishable
+//! from the simulator's (two-sample KS test).
+
+use sparse_rsm::basis::{Dictionary, DictionaryKind};
+use sparse_rsm::circuits::{sampling, OpAmp, PerformanceCircuit, SramReadPath};
+use sparse_rsm::core::select::CvConfig;
+use sparse_rsm::core::{solver, Method, ModelOrder};
+use sparse_rsm::stats::kstest::ks_two_sample;
+use sparse_rsm::stats::NormalSampler;
+
+#[test]
+fn sram_delay_distribution_reproduced_by_model() {
+    let sram = SramReadPath::with_geometry(48, 8, 8);
+    let train = sampling::sample(&sram, 400, 3);
+    let dict = Dictionary::new(sram.num_vars(), DictionaryKind::Linear);
+    let g = dict.design_matrix(&train.inputs);
+    let rep = solver::fit(
+        &g,
+        &train.metric(0),
+        Method::Omp,
+        &ModelOrder::CrossValidated(CvConfig::new(40)),
+    )
+    .unwrap();
+
+    // Fresh simulator draws vs model draws (disjoint seeds).
+    let sim = sampling::sample(&sram, 1500, 77);
+    let sim_delays = sim.metric(0);
+    let mut rng = NormalSampler::seed_from_u64(78);
+    let model_delays: Vec<f64> = (0..1500)
+        .map(|_| {
+            let dy = rng.sample_vec(sram.num_vars());
+            rep.model.predict_point(&dict, &dy)
+        })
+        .collect();
+    let ks = ks_two_sample(&sim_delays, &model_delays);
+    assert!(
+        ks.p_value > 0.001,
+        "model distribution rejected: D = {:.4}, p = {:.2e}",
+        ks.statistic,
+        ks.p_value
+    );
+}
+
+#[test]
+fn opamp_offset_distribution_reproduced_by_model() {
+    let amp = OpAmp::new();
+    let train = sampling::sample(&amp, 400, 5);
+    let dict = Dictionary::new(amp.num_vars(), DictionaryKind::Linear);
+    let g = dict.design_matrix(&train.inputs);
+    let rep = solver::fit(
+        &g,
+        &train.metric(3), // offset
+        Method::Omp,
+        &ModelOrder::CrossValidated(CvConfig::new(40)),
+    )
+    .unwrap();
+
+    let sim = sampling::sample(&amp, 1200, 91);
+    let sim_offset = sim.metric(3);
+    let mut rng = NormalSampler::seed_from_u64(92);
+    let model_offset: Vec<f64> = (0..4000)
+        .map(|_| {
+            let dy = rng.sample_vec(amp.num_vars());
+            rep.model.predict_point(&dict, &dy)
+        })
+        .collect();
+    let ks = ks_two_sample(&sim_offset, &model_offset);
+    assert!(
+        ks.p_value > 0.001,
+        "offset distribution rejected: D = {:.4}, p = {:.2e}",
+        ks.statistic,
+        ks.p_value
+    );
+}
+
+#[test]
+fn a_wrong_model_is_caught_by_the_same_test() {
+    // Negative control: a deliberately broken model (coefficients
+    // halved) must be rejected — proving the KS check has power.
+    let sram = SramReadPath::with_geometry(48, 8, 8);
+    let train = sampling::sample(&sram, 400, 3);
+    let dict = Dictionary::new(sram.num_vars(), DictionaryKind::Linear);
+    let g = dict.design_matrix(&train.inputs);
+    let rep = solver::fit(
+        &g,
+        &train.metric(0),
+        Method::Omp,
+        &ModelOrder::CrossValidated(CvConfig::new(40)),
+    )
+    .unwrap();
+    let broken = sparse_rsm::core::SparseModel::new(
+        rep.model.num_bases(),
+        rep.model
+            .coefficients()
+            .iter()
+            .map(|&(i, c)| (i, if i == 0 { c } else { c * 0.5 }))
+            .collect(),
+    );
+    let sim = sampling::sample(&sram, 1500, 77);
+    let mut rng = NormalSampler::seed_from_u64(78);
+    let broken_delays: Vec<f64> = (0..1500)
+        .map(|_| {
+            let dy = rng.sample_vec(sram.num_vars());
+            broken.predict_point(&dict, &dy)
+        })
+        .collect();
+    let ks = ks_two_sample(&sim.metric(0), &broken_delays);
+    assert!(
+        ks.p_value < 1e-4,
+        "broken model not rejected: D = {:.4}, p = {:.2e}",
+        ks.statistic,
+        ks.p_value
+    );
+}

@@ -1,0 +1,212 @@
+//! The paper's headline empirical claims, asserted end-to-end against
+//! the benchmark circuits (reduced sizes so the suite stays fast; the
+//! full-scale numbers live in EXPERIMENTS.md / `rsm-bench`).
+
+use sparse_rsm::basis::{Dictionary, DictionaryKind};
+use sparse_rsm::circuits::{sampling, OpAmp, PerformanceCircuit, SramReadPath};
+use sparse_rsm::core::select::CvConfig;
+use sparse_rsm::core::{solver, Method, ModelOrder};
+use sparse_rsm::stats::metrics::relative_error;
+
+/// Claim (Fig. 4 / Table I): the sparse solvers reach useful accuracy
+/// from K ≪ M samples, where LS cannot even run.
+#[test]
+fn sparse_solvers_work_where_ls_cannot() {
+    let amp = OpAmp::new();
+    let k = 250; // M = 631 ⇒ underdetermined
+    let train = sampling::sample(&amp, k, 1);
+    let test = sampling::sample(&amp, 1200, 2);
+    let dict = Dictionary::new(amp.num_vars(), DictionaryKind::Linear);
+    let g = dict.design_matrix(&train.inputs);
+    let g_test = dict.design_matrix(&test.inputs);
+    // LS is structurally impossible here.
+    assert!(solver::fit(&g, &train.metric(3), Method::Ls, &ModelOrder::Fixed(0)).is_err());
+    // OMP models the offset to a few percent.
+    let rep = solver::fit(
+        &g,
+        &train.metric(3),
+        Method::Omp,
+        &ModelOrder::CrossValidated(CvConfig::new(30)),
+    )
+    .unwrap();
+    let err = relative_error(&rep.model.predict_matrix(&g_test), &test.metric(3));
+    assert!(err < 0.06, "offset error {err} at K = {k}");
+}
+
+/// Claim (Fig. 4, Tables II/IV): OMP is at least as accurate as STAR
+/// at every matched configuration — the value of the Step-6 re-fit.
+#[test]
+fn omp_no_worse_than_star_on_all_opamp_metrics() {
+    let amp = OpAmp::new();
+    let train = sampling::sample(&amp, 300, 3);
+    let test = sampling::sample(&amp, 1500, 4);
+    let dict = Dictionary::new(amp.num_vars(), DictionaryKind::Linear);
+    let g = dict.design_matrix(&train.inputs);
+    let g_test = dict.design_matrix(&test.inputs);
+    for mi in 0..amp.num_metrics() {
+        let f = train.metric(mi);
+        let f_test = test.metric(mi);
+        let lambda = 12;
+        let omp = solver::fit(&g, &f, Method::Omp, &ModelOrder::Fixed(lambda)).unwrap();
+        let star = solver::fit(&g, &f, Method::Star, &ModelOrder::Fixed(lambda)).unwrap();
+        let e_omp = relative_error(&omp.model.predict_matrix(&g_test), &f_test);
+        let e_star = relative_error(&star.model.predict_matrix(&g_test), &f_test);
+        assert!(
+            e_omp <= e_star * 1.05,
+            "metric {mi}: OMP {e_omp} vs STAR {e_star}"
+        );
+    }
+}
+
+/// Claim (Section V-B, Fig. 6): the SRAM delay model is profoundly
+/// sparse — a few dozen non-zeros suffice out of tens of thousands of
+/// candidates, and they sit on the read path.
+#[test]
+fn sram_model_is_sparse_and_on_path() {
+    let sram = SramReadPath::with_geometry(64, 16, 16); // 2 092 vars
+    let train = sampling::sample(&sram, 400, 5);
+    let test = sampling::sample(&sram, 800, 6);
+    let dict = Dictionary::new(sram.num_vars(), DictionaryKind::Linear);
+    let g = dict.design_matrix(&train.inputs);
+    let rep = solver::fit(
+        &g,
+        &train.metric(0),
+        Method::Omp,
+        &ModelOrder::CrossValidated(CvConfig::new(40)),
+    )
+    .unwrap();
+    // Sparse: a tiny fraction of the dictionary.
+    assert!(
+        rep.model.num_nonzeros() <= 40,
+        "selected {} bases",
+        rep.model.num_nonzeros()
+    );
+    // Accurate out of sample.
+    let pred: Vec<f64> = (0..test.inputs.rows())
+        .map(|r| rep.model.predict_point(&dict, test.inputs.row(r)))
+        .collect();
+    let err = relative_error(&pred, &test.metric(0));
+    assert!(err < 0.15, "SRAM delay error {err}");
+    // No selected basis touches a non-accessed, non-replica column cell.
+    let accessed_lo = sram.cell_var(0, 0);
+    let accessed_hi = sram.cell_var(0, 1);
+    let replica_lo = sram.cell_var(0, sram.replica_col());
+    let replica_hi = replica_lo + 2 * sram.rows();
+    for &(idx, _) in rep.model.coefficients() {
+        if idx == 0 {
+            continue;
+        }
+        let var = idx - 1;
+        let is_cell = var >= accessed_lo && var < sram.periph_var(0);
+        if is_cell {
+            let in_accessed = (accessed_lo..accessed_hi).contains(&var);
+            let in_replica = (replica_lo..replica_hi).contains(&var);
+            assert!(
+                in_accessed || in_replica,
+                "selected an off-path cell variable {var}"
+            );
+        }
+    }
+}
+
+/// Claim (Table IV): the sparse solvers need ~25× fewer simulations
+/// than LS for the same (or better) accuracy on the SRAM.
+#[test]
+fn sample_efficiency_vs_ls_on_reduced_sram() {
+    let sram = SramReadPath::with_geometry(16, 4, 4); // 170 vars, M = 171
+    let dict = Dictionary::new(sram.num_vars(), DictionaryKind::Linear);
+    let test = sampling::sample(&sram, 1000, 7);
+    let g_test = dict.design_matrix(&test.inputs);
+    let f_test = test.metric(0);
+
+    // LS needs at least M samples; give it 3×.
+    let k_ls = 3 * dict.len();
+    let ls_train = sampling::sample(&sram, k_ls, 8);
+    let g_ls = dict.design_matrix(&ls_train.inputs);
+    let ls = solver::fit(
+        &g_ls,
+        &ls_train.metric(0),
+        Method::Ls,
+        &ModelOrder::Fixed(0),
+    )
+    .unwrap();
+    let e_ls = relative_error(&ls.model.predict_matrix(&g_test), &f_test);
+
+    // OMP gets 8× fewer samples.
+    let k_omp = k_ls / 8;
+    let omp_train = sampling::sample(&sram, k_omp, 9);
+    let g_omp = dict.design_matrix(&omp_train.inputs);
+    let omp = solver::fit(
+        &g_omp,
+        &omp_train.metric(0),
+        Method::Omp,
+        &ModelOrder::CrossValidated(CvConfig::new(30)),
+    )
+    .unwrap();
+    let e_omp = relative_error(&omp.model.predict_matrix(&g_test), &f_test);
+    // At this tiny geometry both errors sit on the nonlinearity floor,
+    // so "comparable" is the right bar here; the full-scale run (Table
+    // IV, EXPERIMENTS.md) shows OMP *beating* LS outright at 25x fewer
+    // samples.
+    assert!(
+        e_omp <= e_ls * 1.5,
+        "OMP at K/8 ({e_omp}) should be comparable to LS ({e_ls})"
+    );
+}
+
+/// Claim (Table II workflow): quadratic modeling over the top linear
+/// variables beats the pure linear model for a nonlinear metric.
+#[test]
+fn quadratic_refinement_improves_bandwidth_model() {
+    let amp = OpAmp::new();
+    let train = sampling::sample(&amp, 500, 11);
+    let test = sampling::sample(&amp, 1500, 12);
+    let lin_dict = Dictionary::new(amp.num_vars(), DictionaryKind::Linear);
+    let g_lin = lin_dict.design_matrix(&train.inputs);
+    let mi = 1; // bandwidth: the most nonlinear metric
+    let f_train = train.metric(mi);
+    let f_test = test.metric(mi);
+
+    let lin = solver::fit(
+        &g_lin,
+        &f_train,
+        Method::Omp,
+        &ModelOrder::CrossValidated(CvConfig::new(40)),
+    )
+    .unwrap();
+    let e_lin = relative_error(
+        &lin.model
+            .predict_matrix(&lin_dict.design_matrix(&test.inputs)),
+        &f_test,
+    );
+
+    // Top-40 variables by |linear coefficient| → quadratic dictionary.
+    let mut weights: Vec<(usize, f64)> = lin
+        .model
+        .coefficients()
+        .iter()
+        .filter(|&&(i, _)| i >= 1)
+        .map(|&(i, c)| (i - 1, c.abs()))
+        .collect();
+    weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let mut vars: Vec<usize> = weights.iter().take(40).map(|&(v, _)| v).collect();
+    vars.sort_unstable();
+    let quad_dict = Dictionary::new(vars.len(), DictionaryKind::Quadratic);
+    let g_quad = quad_dict.design_matrix(&train.inputs.select_cols(&vars));
+    let quad = solver::fit(
+        &g_quad,
+        &f_train,
+        Method::Omp,
+        &ModelOrder::CrossValidated(CvConfig::new(60)),
+    )
+    .unwrap();
+    let test_reduced = test.inputs.select_cols(&vars);
+    let pred: Vec<f64> = (0..test_reduced.rows())
+        .map(|r| quad.model.predict_point(&quad_dict, test_reduced.row(r)))
+        .collect();
+    let e_quad = relative_error(&pred, &f_test);
+    assert!(
+        e_quad < e_lin,
+        "quadratic ({e_quad}) should beat linear ({e_lin}) for bandwidth"
+    );
+}
