@@ -7,6 +7,8 @@
 //! `O(λ²·K·M)`-ish; the bench shows near-linear growth in λ).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsm_basis::{Dictionary, DictionaryKind};
+use rsm_core::source::{AtomSource, DictionarySource};
 use rsm_core::{lar::LarConfig, ls, omp::OmpConfig, star::StarConfig};
 use rsm_linalg::Matrix;
 use rsm_stats::NormalSampler;
@@ -89,10 +91,40 @@ fn bench_ls_vs_m(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_correlate_serial_vs_parallel(c: &mut Criterion) {
+    // The selection step `ξ = Gᵀ·res` dominates large-M fits; this
+    // bench compares the deterministic parallel runtime against the
+    // single-thread baseline on the streaming (DictionarySource)
+    // correlate. Results are bit-identical at every thread count; only
+    // the wall clock moves. Speedup numbers land in EXPERIMENTS.md.
+    let mut group = c.benchmark_group("correlate_vs_M");
+    group.sample_size(10);
+    // Quadratic dictionaries over n variables give M = 1 + 2n + C(n,2)
+    // atoms: n = 140 → M = 10 011 ≈ 10⁴, n = 444 → M = 99 235 ≈ 10⁵.
+    for &n_vars in &[140usize, 444] {
+        let dict = Dictionary::new(n_vars, DictionaryKind::Quadratic);
+        let m = dict.len();
+        let k = 200;
+        let mut rng = NormalSampler::seed_from_u64(4);
+        let samples = Matrix::from_fn(k, n_vars, |_, _| rng.sample());
+        let src = DictionarySource::new(&dict, &samples);
+        let res: Vec<f64> = (0..k).map(|i| (i as f64 * 0.37).sin()).collect();
+        for &(name, threads) in &[("serial", 1usize), ("threads4", 4)] {
+            group.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
+                rsm_runtime::set_threads(threads);
+                b.iter(|| black_box(&src).correlate(black_box(&res)));
+                rsm_runtime::set_threads(0);
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sparse_solvers_vs_m,
     bench_omp_vs_lambda,
-    bench_ls_vs_m
+    bench_ls_vs_m,
+    bench_correlate_serial_vs_parallel
 );
 criterion_main!(benches);

@@ -14,14 +14,18 @@
 //! | ablations      | `ablation` | OMP-vs-STAR re-fit, LAR-vs-lasso, atom normalization |
 //!
 //! Each binary accepts `--quick` (reduced sample counts, for smoke
-//! runs) and writes a JSON record under `results/`.
+//! runs) and `--threads N` (worker thread count; results are
+//! bit-identical for any value — see the README's "Parallelism &
+//! determinism" section), and writes a JSON record under `results/`.
+//! Every record is wrapped in an envelope that notes the thread count
+//! the run used.
 
 pub mod quadratic;
 
 use rsm_core::{CoreError, SparseModel};
 use rsm_linalg::Matrix;
 use rsm_stats::metrics::relative_error;
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -37,13 +41,44 @@ pub const SPECTRE_SECONDS_SRAM: f64 = 29.13;
 pub struct RunOptions {
     /// Reduced sample counts for a fast smoke run.
     pub quick: bool,
+    /// Resolved worker thread count for this run (after applying any
+    /// `--threads` flag; otherwise `RSM_THREADS`, else all cores).
+    pub threads: usize,
 }
 
 impl RunOptions {
-    /// Parses `--quick` from the command line.
+    /// Parses `--quick` and `--threads N` from the command line and
+    /// applies the thread count via [`rsm_runtime::set_threads`].
+    ///
+    /// Exits with status 2 on a malformed `--threads` value — the
+    /// experiment binaries have no other argument errors to report.
     pub fn from_args() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick");
-        RunOptions { quick }
+        let args: Vec<String> = std::env::args().collect();
+        match Self::parse(&args) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pure parsing core of [`RunOptions::from_args`]; also applies the
+    /// thread count so that `threads` reflects what the run will use.
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let quick = args.iter().any(|a| a == "--quick");
+        if let Some(i) = args.iter().position(|a| a == "--threads") {
+            let n = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .ok_or("--threads must be followed by a positive integer")?;
+            rsm_runtime::set_threads(n);
+        }
+        Ok(RunOptions {
+            quick,
+            threads: rsm_runtime::threads(),
+        })
     }
 
     /// Picks between the full and the quick value.
@@ -160,6 +195,11 @@ pub fn print_cost_table(title: &str, rows: &[CostRow]) {
 
 /// Writes a serializable result record to `results/<name>.json`.
 ///
+/// The record is wrapped in a `{ "threads": N, "record": ... }`
+/// envelope so every emitted result notes the worker thread count it
+/// was produced with. The thread count only affects wall-clock
+/// numbers; fitted models and errors are bit-identical for any value.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::BadConfig`] wrapping any I/O failure (the
@@ -169,7 +209,11 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) -> Result<PathBuf, CoreErr
     std::fs::create_dir_all(&dir)
         .map_err(|e| CoreError::BadConfig(format!("cannot create results dir: {e}")))?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
+    let envelope = Value::Obj(vec![
+        ("threads".into(), Value::Num(rsm_runtime::threads() as f64)),
+        ("record".into(), value.to_value()),
+    ]);
+    let json = serde_json::to_string_pretty(&envelope)
         .map_err(|e| CoreError::BadConfig(format!("serialize: {e}")))?;
     std::fs::write(&path, json)
         .map_err(|e| CoreError::BadConfig(format!("write {path:?}: {e}")))?;
@@ -247,10 +291,64 @@ mod tests {
 
     #[test]
     fn run_options_pick() {
-        let quick = RunOptions { quick: true };
-        let full = RunOptions { quick: false };
+        let quick = RunOptions {
+            quick: true,
+            threads: 1,
+        };
+        let full = RunOptions {
+            quick: false,
+            threads: 1,
+        };
         assert_eq!(quick.pick(1000, 10), 10);
         assert_eq!(full.pick(1000, 10), 1000);
+    }
+
+    /// Serializes the tests that touch the process-global thread
+    /// override (and the cwd), which the test harness otherwise runs
+    /// concurrently.
+    static GLOBAL_STATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn run_options_parse_threads_flag() {
+        let _guard = GLOBAL_STATE.lock().unwrap();
+        let args: Vec<String> = ["bench", "--quick", "--threads", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = RunOptions::parse(&args).unwrap();
+        assert!(opts.quick);
+        assert_eq!(opts.threads, 3);
+        assert_eq!(rsm_runtime::threads(), 3);
+        rsm_runtime::set_threads(0);
+
+        for bad in [
+            &["bench", "--threads"][..],
+            &["bench", "--threads", "0"],
+            &["bench", "--threads", "x"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(RunOptions::parse(&args).is_err(), "{bad:?} should fail");
+        }
+        rsm_runtime::set_threads(0);
+    }
+
+    #[test]
+    fn save_json_envelope_records_thread_count() {
+        let _guard = GLOBAL_STATE.lock().unwrap();
+        rsm_runtime::set_threads(2);
+        let dir = std::env::temp_dir().join("rsm-bench-save-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let saved = save_json("envelope_test", &vec![1.5f64, 2.5]);
+        std::env::set_current_dir(prev).unwrap();
+        rsm_runtime::set_threads(0);
+        // `save_json` returns a path relative to the (restored) cwd.
+        let path = dir.join(saved.unwrap());
+        let text = std::fs::read_to_string(path).unwrap();
+        let v = serde_json::parse(&text).unwrap();
+        assert_eq!(v.get("threads"), Some(&serde::Value::Num(2.0)));
+        assert!(matches!(v.get("record"), Some(serde::Value::Arr(a)) if a.len() == 2));
     }
 
     #[test]

@@ -217,34 +217,6 @@ pub fn run(opts: &RunOptions) -> QuadraticOutcome {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rsm_stats::NormalSampler;
-
-    #[test]
-    fn rank_variables_puts_informative_vars_first() {
-        let mut rng = NormalSampler::seed_from_u64(3);
-        let n = 30;
-        let k = 120;
-        let samples = Matrix::from_fn(k, n, |_, _| rng.sample());
-        let dict = Dictionary::new(n, DictionaryKind::Linear);
-        let g = dict.design_matrix(&samples);
-        // Response driven by variables 4 and 17 only.
-        let f: Vec<f64> = (0..k)
-            .map(|r| 5.0 * samples[(r, 4)] - 3.0 * samples[(r, 17)] + 0.01 * rng.sample())
-            .collect();
-        let top = rank_variables(&g, &f, n, 5);
-        assert!(top.contains(&4), "{top:?}");
-        assert!(top.contains(&17), "{top:?}");
-        assert_eq!(top.len(), 5);
-        // Output is sorted for stable dictionary construction.
-        let mut sorted = top.clone();
-        sorted.sort_unstable();
-        assert_eq!(top, sorted);
-    }
-}
-
 /// Renders the Table II error grid.
 pub fn print_error_table(out: &QuadraticOutcome) {
     println!(
@@ -277,5 +249,33 @@ pub fn print_error_table(out: &QuadraticOutcome) {
             }
         }
         println!("{:>14}", lambdas.join("/"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsm_stats::NormalSampler;
+
+    #[test]
+    fn rank_variables_puts_informative_vars_first() {
+        let mut rng = NormalSampler::seed_from_u64(3);
+        let n = 30;
+        let k = 120;
+        let samples = Matrix::from_fn(k, n, |_, _| rng.sample());
+        let dict = Dictionary::new(n, DictionaryKind::Linear);
+        let g = dict.design_matrix(&samples);
+        // Response driven by variables 4 and 17 only.
+        let f: Vec<f64> = (0..k)
+            .map(|r| 5.0 * samples[(r, 4)] - 3.0 * samples[(r, 17)] + 0.01 * rng.sample())
+            .collect();
+        let top = rank_variables(&g, &f, n, 5);
+        assert!(top.contains(&4), "{top:?}");
+        assert!(top.contains(&17), "{top:?}");
+        assert_eq!(top.len(), 5);
+        // Output is sorted for stable dictionary construction.
+        let mut sorted = top.clone();
+        sorted.sort_unstable();
+        assert_eq!(top, sorted);
     }
 }

@@ -104,6 +104,10 @@ USAGE:
   rsm info --model <model.json>
   rsm help
 
+Every subcommand also accepts --threads N (default: the RSM_THREADS
+environment variable, else all available cores). The thread count only
+affects speed: fitted models are bit-identical for any value.
+
 The CSV has one sample per row; every column except the response is a
 variation variable. A header row is auto-detected.
 ";
@@ -120,6 +124,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
         return Ok(USAGE.to_string());
     };
     let opts = Options::parse(&args[1..])?;
+    if let Some(t) = opts.optional("threads") {
+        let n: usize = t
+            .parse()
+            .map_err(|_| "--threads must be a positive integer".to_string())?;
+        if n == 0 {
+            return Err("--threads must be a positive integer".to_string());
+        }
+        rsm_runtime::set_threads(n);
+    }
     match cmd.as_str() {
         "fit" => cmd_fit(&opts),
         "predict" => cmd_predict(&opts),
@@ -379,6 +392,36 @@ mod tests {
         let y = truth.data.col(5);
         let e = relative_error(&pred.data.col(0), &y);
         assert!(e < 0.05, "prediction error {e}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn threads_flag_is_accepted_and_does_not_change_the_model() {
+        let (dir, csv_path) = sample_csv(100, 6);
+        let m1 = dir.join("m1.json").to_string_lossy().into_owned();
+        let m2 = dir.join("m2.json").to_string_lossy().into_owned();
+        for (threads, path) in [("1", &m1), ("4", &m2)] {
+            run(&s(&[
+                "fit",
+                "--input",
+                &csv_path,
+                "--response",
+                "delay",
+                "--lambda-max",
+                "8",
+                "--threads",
+                threads,
+                "--model",
+                path,
+            ]))
+            .unwrap();
+        }
+        rsm_runtime::set_threads(0);
+        let j1 = std::fs::read_to_string(&m1).unwrap();
+        let j2 = std::fs::read_to_string(&m2).unwrap();
+        assert_eq!(j1, j2, "model must be thread-count-invariant");
+        assert!(run(&s(&["fit", "--threads", "0"])).is_err());
+        assert!(run(&s(&["fit", "--threads", "x"])).is_err());
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -188,7 +188,7 @@ fn eval_factor(f: &str, dy: &[f64]) -> f64 {
             .and_then(|s| s.split(']').next())
             .and_then(|s| s.parse().ok())
             .expect("index");
-        return 0.7071067811865476 * (dy[idx] * dy[idx] - 1.0);
+        return std::f64::consts::FRAC_1_SQRT_2 * (dy[idx] * dy[idx] - 1.0);
     }
     if let Some(idx) = f.strip_prefix("dy[").and_then(|s| s.strip_suffix(']')) {
         return dy[idx.parse::<usize>().expect("index")];

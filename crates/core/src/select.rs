@@ -70,13 +70,18 @@ pub struct CvResult {
 /// fold, so its configuration (e.g. `lambda_max`) should allow at least
 /// `cfg.lambda_max` steps.
 ///
+/// The folds are fit in parallel (`Fn + Sync`, one task per fold via
+/// [`rsm_runtime::par_map_indexed`]); each fold's work is independent
+/// and its error curve lands at the fold's own index, so the result is
+/// bit-identical to the sequential loop at every thread count.
+///
 /// # Errors
 ///
 /// - [`CoreError::BadConfig`] for degenerate fold counts / `λ` ranges;
-/// - any error from `fit_path`.
-pub fn cross_validate<F>(g: &Matrix, f: &[f64], cfg: &CvConfig, mut fit_path: F) -> Result<CvResult>
+/// - any error from `fit_path` (the first failing fold in fold order).
+pub fn cross_validate<F>(g: &Matrix, f: &[f64], cfg: &CvConfig, fit_path: F) -> Result<CvResult>
 where
-    F: FnMut(&Matrix, &[f64]) -> Result<SparsePath>,
+    F: Fn(&Matrix, &[f64]) -> Result<SparsePath> + Sync,
 {
     let k = g.rows();
     if f.len() != k {
@@ -103,11 +108,12 @@ where
     // case its final model is reused for larger λ (clamped by
     // `model_at`), matching how a practitioner would treat a converged
     // path.
-    let mut per_fold: Vec<Vec<f64>> = Vec::with_capacity(cfg.folds);
-    for (train, test) in folds.splits() {
-        let g_train = g.select_rows(&train);
+    let splits: Vec<(Vec<usize>, Vec<usize>)> = folds.splits().collect();
+    let fold_results: Vec<Result<Vec<f64>>> = rsm_runtime::par_map_indexed(splits.len(), |q| {
+        let (train, test) = &splits[q];
+        let g_train = g.select_rows(train);
         let f_train: Vec<f64> = train.iter().map(|&i| f[i]).collect();
-        let g_test = g.select_rows(&test);
+        let g_test = g.select_rows(test);
         let f_test: Vec<f64> = test.iter().map(|&i| f[i]).collect();
         let path = fit_path(&g_train, &f_train)?;
         let mut fold_errs = Vec::with_capacity(cfg.lambda_max);
@@ -116,7 +122,11 @@ where
             let pred = model.predict_matrix(&g_test);
             fold_errs.push(relative_error(&pred, &f_test));
         }
-        per_fold.push(fold_errs);
+        Ok(fold_errs)
+    });
+    let mut per_fold: Vec<Vec<f64>> = Vec::with_capacity(splits.len());
+    for r in fold_results {
+        per_fold.push(r?);
     }
     let q = per_fold.len() as f64;
     let mut errors = Vec::with_capacity(cfg.lambda_max);

@@ -16,6 +16,20 @@
 use rsm_basis::Dictionary;
 use rsm_linalg::Matrix;
 
+/// Minimum `K·M` work (rows × atoms) before the streaming correlation
+/// goes parallel. Like the `rsm-linalg` kernels, the gate depends only
+/// on problem shape, so a given problem takes the same code path — and
+/// produces the same bits — at every thread count.
+const PAR_MIN_WORK: usize = 32_768;
+
+/// Fixed number of sample-row chunks for the parallel streaming
+/// correlation. Constant so the chunk grid (and therefore the
+/// floating-point accumulation order) never depends on the thread
+/// count. Partial accumulators are `M` doubles each and at most
+/// ~2×threads are alive at once (see `rsm_runtime::par_chunks_reduce`),
+/// which keeps the `M = 10⁶` streaming path affordable.
+const PAR_ROW_CHUNKS: usize = 16;
+
 /// Minimal interface a greedy sparse solver needs from the design
 /// matrix `G ∈ R^{K×M}`.
 pub trait AtomSource {
@@ -118,7 +132,41 @@ impl AtomSource for DictionarySource<'_> {
 
     fn correlate(&self, res: &[f64]) -> Vec<f64> {
         assert_eq!(res.len(), self.samples.rows(), "residual length mismatch");
+        let k_rows = self.samples.rows();
         let m = self.dict.len();
+        if k_rows > 1 && k_rows.saturating_mul(m) >= PAR_MIN_WORK {
+            // Partition the sample rows into a fixed chunk grid; each
+            // chunk accumulates its own ξ partial, and the partials
+            // are merged in ascending chunk order so the result is
+            // identical for every thread count.
+            let chunk = k_rows.div_ceil(PAR_ROW_CHUNKS).max(1);
+            let mut xi = vec![0.0; m];
+            rsm_runtime::par_chunks_reduce(
+                k_rows,
+                chunk,
+                |rr| {
+                    let mut part = vec![0.0; m];
+                    let mut row = vec![0.0; m];
+                    for k in rr {
+                        let rk = res[k];
+                        if rk == 0.0 {
+                            continue;
+                        }
+                        self.dict.eval_point_into(self.samples.row(k), &mut row);
+                        for (x, &g) in part.iter_mut().zip(&row) {
+                            *x += rk * g;
+                        }
+                    }
+                    part
+                },
+                |part: Vec<f64>| {
+                    for (x, &p) in xi.iter_mut().zip(&part) {
+                        *x += p;
+                    }
+                },
+            );
+            return xi;
+        }
         let mut xi = vec![0.0; m];
         let mut row = vec![0.0; m];
         for (k, &rk) in res.iter().enumerate() {

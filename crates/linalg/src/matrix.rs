@@ -5,6 +5,21 @@ use crate::{LinalgError, Result};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+/// Minimum number of matrix elements before `matvec`/`matvec_t` use
+/// the parallel runtime; smaller operands stay on the plain loops.
+/// The gate depends only on operand shape — never on the thread count
+/// — so a given problem always takes the same code path and produces
+/// the same bits (see the `rsm-runtime` crate docs).
+const PAR_MIN_ELEMS: usize = 32_768;
+
+/// Minimum multiply-add count before `matmul` goes parallel.
+const PAR_MIN_MATMUL_FLOPS: usize = 262_144;
+
+/// Fixed row-chunk count for the parallel kernels. A function of
+/// nothing: chunk boundaries derive from the row count alone, keeping
+/// chunked accumulation order identical for every thread count.
+const PAR_ROW_CHUNKS: usize = 16;
+
 /// A dense, row-major matrix of `f64`.
 ///
 /// The storage layout is `data[r * cols + c]`. Rows are therefore
@@ -215,6 +230,22 @@ impl Matrix {
                 found: format!("length {}", x.len()),
             });
         }
+        if self.rows * self.cols >= PAR_MIN_ELEMS {
+            // Each output element is an independent dot product, so
+            // row-block parallelism is bit-identical to the serial loop.
+            let chunk = self.rows.div_ceil(PAR_ROW_CHUNKS).max(1);
+            let mut y = Vec::with_capacity(self.rows);
+            rsm_runtime::par_chunks_reduce(
+                self.rows,
+                chunk,
+                |rr| {
+                    rr.map(|r| vec_ops::dot(self.row(r), x))
+                        .collect::<Vec<f64>>()
+                },
+                |block| y.extend_from_slice(&block),
+            );
+            return Ok(y);
+        }
         Ok((0..self.rows)
             .map(|r| vec_ops::dot(self.row(r), x))
             .collect())
@@ -233,6 +264,31 @@ impl Matrix {
             });
         }
         let mut y = vec![0.0; self.cols];
+        if self.rows * self.cols >= PAR_MIN_ELEMS && self.rows > 1 {
+            // Row-block partial accumulators, merged in chunk order.
+            // The summation order differs from the plain loop below,
+            // but the size gate means a given shape always takes the
+            // same path, and the chunk grid plus ordered merge make
+            // the result independent of the thread count.
+            let chunk = self.rows.div_ceil(PAR_ROW_CHUNKS).max(1);
+            rsm_runtime::par_chunks_reduce(
+                self.rows,
+                chunk,
+                |rr| {
+                    let mut part = vec![0.0; self.cols];
+                    for r in rr {
+                        vec_ops::axpy(x[r], self.row(r), &mut part);
+                    }
+                    part
+                },
+                |part: Vec<f64>| {
+                    for (yi, pi) in y.iter_mut().zip(&part) {
+                        *yi += pi;
+                    }
+                },
+            );
+            return Ok(y);
+        }
         for r in 0..self.rows {
             vec_ops::axpy(x[r], self.row(r), &mut y);
         }
@@ -249,6 +305,43 @@ impl Matrix {
             return Err(LinalgError::ShapeMismatch {
                 expected: format!("inner dimension {}", self.cols),
                 found: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        let flops = self
+            .rows
+            .saturating_mul(self.cols)
+            .saturating_mul(other.cols);
+        if flops >= PAR_MIN_MATMUL_FLOPS {
+            // Output rows are independent (row i of C uses row i of A
+            // and all of B), so row-block parallelism reproduces the
+            // serial result exactly.
+            let chunk = self.rows.div_ceil(PAR_ROW_CHUNKS).max(1);
+            let mut data = Vec::with_capacity(self.rows * other.cols);
+            rsm_runtime::par_chunks_reduce(
+                self.rows,
+                chunk,
+                |rr| {
+                    let mut block = vec![0.0; rr.len() * other.cols];
+                    let start = rr.start;
+                    for i in rr {
+                        let orow =
+                            &mut block[(i - start) * other.cols..(i - start + 1) * other.cols];
+                        for k in 0..self.cols {
+                            let aik = self.data[i * self.cols + k];
+                            if aik == 0.0 {
+                                continue;
+                            }
+                            vec_ops::axpy(aik, other.row(k), orow);
+                        }
+                    }
+                    block
+                },
+                |block: Vec<f64>| data.extend_from_slice(&block),
+            );
+            return Ok(Matrix {
+                rows: self.rows,
+                cols: other.cols,
+                data,
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);

@@ -1,0 +1,318 @@
+//! Deterministic data-parallel runtime for the sparse-rsm workspace.
+//!
+//! The solvers' hot loops (ξ = Gᵀ·r correlation, dense matrix kernels,
+//! Q-fold cross-validation) are embarrassingly parallel, but naive
+//! parallel reductions change floating-point summation order with the
+//! number of workers, so the *same* fit would select different atoms
+//! on a 4-core laptop and a 64-core server. This crate provides the
+//! two primitives the workspace parallelizes with, built on
+//! `std::thread::scope` (no dependencies), with one invariant:
+//!
+//! > **Results are bit-identical for every thread count**, including 1.
+//!
+//! The invariant holds because nothing observable depends on how many
+//! workers run:
+//!
+//! - **Chunk boundaries are a function of problem size only.** A
+//!   caller states the chunk length; the chunk grid never adapts to
+//!   [`threads()`].
+//! - **Reduction order is fixed.** [`par_chunks_reduce`] hands chunk
+//!   partials to the caller's `fold` in ascending chunk order, however
+//!   the workers were scheduled; [`par_map_indexed`] places each
+//!   result at its own index.
+//! - **One thread runs the same algorithm.** With a single worker the
+//!   same chunk grid is walked in the same order inline, so serial and
+//!   parallel runs perform the identical floating-point op sequence.
+//!
+//! The worker count is resolved per call by [`threads()`]:
+//! a process-wide [`set_threads`] override (used by the CLI `--threads`
+//! flag and the equivalence tests), else the `RSM_THREADS` environment
+//! variable, else [`std::thread::available_parallelism`].
+//!
+//! Nested calls (e.g. a parallel cross-validation fold whose solver
+//! calls a parallel correlation) do not oversubscribe: a primitive
+//! invoked from inside a worker runs its chunk grid inline, which by
+//! the invariant above produces the same bits.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Process-wide worker-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True inside a worker spawned by this crate — used to run nested
+    /// parallel calls inline instead of spawning a second pool.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Overrides the worker count for every subsequent parallel call in
+/// this process; `0` clears the override.
+///
+/// Takes precedence over the `RSM_THREADS` environment variable. The
+/// setting changes only wall-clock behavior, never results: all
+/// primitives in this crate are thread-count-invariant.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count parallel calls will use right now.
+///
+/// Resolution order: [`set_threads`] override, then a positive integer
+/// in `RSM_THREADS`, then [`std::thread::available_parallelism`]
+/// (falling back to 1 if that is unavailable).
+pub fn threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("RSM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `0..len` into the fixed chunk grid used by
+/// [`par_chunks_reduce`]: `ceil(len / chunk_len)` chunks of `chunk_len`
+/// elements, the last one possibly shorter. The grid depends only on
+/// `len` and `chunk_len` — never on the thread count.
+fn chunk_range(len: usize, chunk_len: usize, idx: usize) -> Range<usize> {
+    let start = idx * chunk_len;
+    start..len.min(start + chunk_len)
+}
+
+fn num_chunks(len: usize, chunk_len: usize) -> usize {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    len.div_ceil(chunk_len)
+}
+
+/// Maps fixed chunks of `0..len` in parallel and folds the partials
+/// **in ascending chunk order**.
+///
+/// `map` is called once per chunk with that chunk's index range and
+/// may run on any worker; `fold` runs on the calling thread and
+/// receives every partial in chunk order, so a non-commutative
+/// reduction (floating-point accumulation) gives the same result for
+/// every thread count. With one worker the chunks are mapped and
+/// folded inline in the same order — the identical op sequence.
+///
+/// Out-of-order partials are buffered, but workers claim chunks in
+/// ascending order and the channel holds at most one partial per
+/// worker, so at most `2 × threads` partials are alive at once — this
+/// is what keeps the streaming-dictionary correlation (8 MB per
+/// partial at M = 10⁶) affordable.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero, or propagates a panic from `map`.
+pub fn par_chunks_reduce<T, M, F>(len: usize, chunk_len: usize, map: M, mut fold: F)
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    F: FnMut(T),
+{
+    let chunks = num_chunks(len, chunk_len);
+    let workers = effective_workers(chunks);
+    if workers <= 1 {
+        for idx in 0..chunks {
+            fold(map(chunk_range(len, chunk_len, idx)));
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    // Rendezvous capacity of one slot per worker bounds how far the
+    // mappers can run ahead of the in-order fold.
+    let (tx, rx) = mpsc::sync_channel::<(usize, T)>(workers);
+    thread::scope(|scope| {
+        let next = &next;
+        let map = &map;
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= chunks {
+                        break;
+                    }
+                    let partial = map(chunk_range(len, chunk_len, idx));
+                    // The receiver only disconnects on fold panic;
+                    // stop quietly and let the panic propagate there.
+                    if tx.send((idx, partial)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut expected = 0usize;
+        let mut pending: std::collections::BTreeMap<usize, T> = std::collections::BTreeMap::new();
+        for (idx, partial) in rx {
+            pending.insert(idx, partial);
+            while let Some(p) = pending.remove(&expected) {
+                fold(p);
+                expected += 1;
+            }
+        }
+        assert_eq!(expected, chunks, "worker panicked before finishing");
+    });
+}
+
+/// Computes `f(0)..f(n-1)` in parallel, returning the results in index
+/// order.
+///
+/// Each element is computed independently and placed at its own index,
+/// so the output is identical for every thread count by construction.
+/// Intended for coarse tasks (cross-validation folds, row blocks);
+/// each element costs one channel message.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = effective_workers(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::sync_channel::<(usize, T)>(workers);
+    thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let v = f(i);
+                    if tx.send((i, v)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut received = 0usize;
+        for (i, v) in rx {
+            out[i] = Some(v);
+            received += 1;
+        }
+        assert_eq!(received, n, "worker panicked before finishing");
+        out.into_iter().map(Option::unwrap).collect()
+    })
+}
+
+/// Worker count for a job with `tasks` independent units: the resolved
+/// [`threads()`], capped by the task count, and 1 inside a worker
+/// (nested calls run inline rather than oversubscribing).
+fn effective_workers(tasks: usize) -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    threads().min(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_chunked(len: usize, chunk_len: usize, xs: &[f64]) -> f64 {
+        let mut total = 0.0;
+        par_chunks_reduce(
+            len,
+            chunk_len,
+            |r| xs[r].iter().sum::<f64>(),
+            |p: f64| total += p,
+        );
+        total
+    }
+
+    #[test]
+    fn reduce_is_thread_count_invariant() {
+        let xs: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 101) as f64 * 0.3).collect();
+        set_threads(1);
+        let s1 = sum_chunked(xs.len(), 64, &xs);
+        for t in [2, 3, 4, 7, 16] {
+            set_threads(t);
+            let st = sum_chunked(xs.len(), 64, &xs);
+            assert_eq!(s1.to_bits(), st.to_bits(), "threads = {t}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn reduce_handles_empty_and_ragged() {
+        set_threads(4);
+        let mut calls = 0;
+        par_chunks_reduce(0, 8, |_| 1usize, |_| calls += 1);
+        assert_eq!(calls, 0);
+        // 10 elements in chunks of 4: ranges 0..4, 4..8, 8..10.
+        let mut ranges = Vec::new();
+        par_chunks_reduce(10, 4, |r| r, |r| ranges.push(r));
+        assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+        set_threads(0);
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for t in [1, 2, 5] {
+            set_threads(t);
+            let out = par_map_indexed(100, |i| i * i);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        }
+        set_threads(0);
+        assert!(par_map_indexed(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn nested_calls_run_inline_and_match() {
+        let compute = || {
+            par_map_indexed(6, |i| {
+                let mut s = 0.0;
+                par_chunks_reduce(
+                    50,
+                    7,
+                    |r| r.map(|k| ((i * 50 + k) as f64).sqrt()).sum::<f64>(),
+                    |p: f64| s += p,
+                );
+                s
+            })
+        };
+        set_threads(1);
+        let serial = compute();
+        set_threads(4);
+        let nested = compute();
+        set_threads(0);
+        let same = serial
+            .iter()
+            .zip(&nested)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "{serial:?} vs {nested:?}");
+    }
+
+    #[test]
+    fn override_beats_env() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

@@ -71,12 +71,7 @@ impl OperatingPoint {
         if ckt.num_vsources() > 0 {
             let _ = writeln!(out, "source currents:");
             for k in 0..ckt.num_vsources() {
-                let _ = writeln!(
-                    out,
-                    "  V{:<11} {:>12.4e} A",
-                    k,
-                    self.branch_currents[k]
-                );
+                let _ = writeln!(out, "  V{:<11} {:>12.4e} A", k, self.branch_currents[k]);
             }
         }
         if !self.mos_evals.is_empty() {

@@ -20,7 +20,10 @@
 //! - [`circuits`] *(rsm-circuits)* — the paper's two benchmarks: a
 //!   630-variable two-stage OpAmp and a 21 310-variable SRAM read path;
 //! - [`linalg`] *(rsm-linalg)* — the dense linear-algebra kernels
-//!   underneath everything.
+//!   underneath everything;
+//! - [`runtime`] *(rsm-runtime)* — the deterministic thread pool the
+//!   kernels run on (`RSM_THREADS` / [`runtime::set_threads`]); the
+//!   thread count only changes speed, never results.
 //!
 //! ## Quick start
 //!
@@ -53,5 +56,6 @@ pub use rsm_basis as basis;
 pub use rsm_circuits as circuits;
 pub use rsm_core as core;
 pub use rsm_linalg as linalg;
+pub use rsm_runtime as runtime;
 pub use rsm_spice as spice;
 pub use rsm_stats as stats;

@@ -39,9 +39,7 @@ fn emitted_c_compiles_and_matches_rust_predictions() {
         .iter()
         .map(|p| model.predict_point(&dict, p))
         .collect();
-    let mut main_src = String::from(
-        "#include <stdio.h>\n#include <math.h>\n",
-    );
+    let mut main_src = String::from("#include <stdio.h>\n#include <math.h>\n");
     main_src.push_str(&c_src);
     main_src.push_str("int main(void) {\n");
     for (i, p) in points.iter().enumerate() {
@@ -75,7 +73,9 @@ fn emitted_c_compiles_and_matches_rust_predictions() {
         "cc failed:\n{}",
         String::from_utf8_lossy(&compile.stderr)
     );
-    let run = Command::new(&bin_path).output().expect("run compiled model");
+    let run = Command::new(&bin_path)
+        .output()
+        .expect("run compiled model");
     let stdout = String::from_utf8_lossy(&run.stdout);
     assert!(run.status.success() && stdout.contains("OK"), "{stdout}");
     std::fs::remove_dir_all(dir).ok();

@@ -1,0 +1,218 @@
+//! Thread-count invariance of the whole solver stack.
+//!
+//! The parallel runtime (`rsm-runtime`) promises that the worker
+//! thread count only changes wall-clock time, never results: chunk
+//! boundaries are derived from the problem size alone and partials are
+//! folded in a fixed order, so every floating-point operation happens
+//! in the same order at every thread count. These tests pin that
+//! promise down end to end — OMP, LAR and STAR fits must produce
+//! **bit-identical** supports, coefficients and residual norms at
+//! `threads ∈ {1, 2, 4, 7}`, for both the materialized
+//! [`Matrix`](sparse_rsm::linalg::Matrix) backend and the implicit
+//! [`DictionarySource`](sparse_rsm::core::source::DictionarySource)
+//! backend, and cross-validation (parallel over folds) must select the
+//! same model.
+//!
+//! Problem sizes are chosen to sit *above* the parallel thresholds in
+//! `rsm-linalg` and `rsm-core` (`K·M ≥ 32 768`), so the parallel code
+//! paths are genuinely exercised rather than falling back to the
+//! serial loops.
+
+use sparse_rsm::basis::{Dictionary, DictionaryKind};
+use sparse_rsm::core::select::{cross_validate, CvConfig};
+use sparse_rsm::core::solver::fit_path;
+use sparse_rsm::core::source::DictionarySource;
+use sparse_rsm::core::{Method, SparsePath};
+use sparse_rsm::linalg::Matrix;
+use sparse_rsm::runtime;
+use sparse_rsm::stats::NormalSampler;
+use std::sync::Mutex;
+
+/// Thread counts the suite sweeps (the first is the serial baseline).
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// The thread override is process-global, so tests that sweep it must
+/// not interleave.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+/// A K×M sensing matrix with a P-sparse response plus noise, sized
+/// above the `K·M ≥ 32 768` parallel threshold.
+fn matrix_problem() -> (Matrix, Vec<f64>) {
+    let (k, m) = (120, 400); // K·M = 48 000
+    let mut s = NormalSampler::seed_from_u64(99);
+    let g = Matrix::from_fn(k, m, |_, _| s.sample());
+    let mut f = vec![0.0; k];
+    for &(j, v) in &[(3usize, 2.0), (41, -1.25), (160, 0.75), (399, 0.5)] {
+        for r in 0..k {
+            f[r] += v * g[(r, j)];
+        }
+    }
+    for fr in &mut f {
+        *fr += 0.02 * s.sample();
+    }
+    (g, f)
+}
+
+/// A quadratic Hermite dictionary over 30 variables (M = 496 atoms)
+/// observed at 80 points: K·M = 39 680, above the streaming-correlate
+/// threshold.
+fn dictionary_problem() -> (Dictionary, Matrix, Vec<f64>) {
+    let dict = Dictionary::new(30, DictionaryKind::Quadratic);
+    let mut s = NormalSampler::seed_from_u64(7);
+    let samples = Matrix::from_fn(80, 30, |_, _| s.sample());
+    let g = dict.design_matrix(&samples);
+    let mut f = vec![0.0; 80];
+    for &(j, v) in &[(5usize, 1.5), (70, -0.8), (200, 0.4)] {
+        for r in 0..80 {
+            f[r] += v * g[(r, j)];
+        }
+    }
+    for fr in &mut f {
+        *fr += 0.02 * s.sample();
+    }
+    (dict, samples, f)
+}
+
+/// Asserts two solution paths are equal down to the last bit: same
+/// residual norms, and at every step the same support with bitwise
+/// equal coefficients.
+fn assert_paths_bit_identical(base: &SparsePath, other: &SparsePath, what: &str) {
+    assert_eq!(base.len(), other.len(), "{what}: path lengths differ");
+    for (a, b) in base.residual_norms().iter().zip(other.residual_norms()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: residual norms differ ({a} vs {b})"
+        );
+    }
+    for lambda in 1..=base.len() {
+        let ma = base.model_at(lambda);
+        let mb = other.model_at(lambda);
+        assert_eq!(
+            ma.support(),
+            mb.support(),
+            "{what}: support differs at λ = {lambda}"
+        );
+        for ((ia, ca), (ib, cb)) in ma.coefficients().iter().zip(mb.coefficients()) {
+            assert_eq!(ia, ib, "{what}: atom order differs at λ = {lambda}");
+            assert_eq!(
+                ca.to_bits(),
+                cb.to_bits(),
+                "{what}: coefficient {ia} differs at λ = {lambda} ({ca} vs {cb})"
+            );
+        }
+    }
+}
+
+/// Runs `fit` once per thread count and asserts every path matches the
+/// single-threaded baseline bit for bit.
+fn sweep_threads(what: &str, fit: impl Fn() -> SparsePath) {
+    runtime::set_threads(THREAD_COUNTS[0]);
+    let baseline = fit();
+    for &n in &THREAD_COUNTS[1..] {
+        runtime::set_threads(n);
+        let path = fit();
+        assert_paths_bit_identical(&baseline, &path, &format!("{what} @ {n} threads"));
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn matrix_backend_paths_are_thread_count_invariant() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (g, f) = matrix_problem();
+    for method in [Method::Omp, Method::Lar, Method::Star] {
+        sweep_threads(&format!("{method:?} on Matrix"), || {
+            fit_path(method, &g, &f, 12).unwrap()
+        });
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn dictionary_backend_paths_are_thread_count_invariant() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (dict, samples, f) = dictionary_problem();
+    use sparse_rsm::core::omp::OmpConfig;
+    use sparse_rsm::core::star::StarConfig;
+    let src = DictionarySource::new(&dict, &samples);
+    sweep_threads("OMP on DictionarySource", || {
+        OmpConfig::new(10).fit_source(&src, &f).unwrap()
+    });
+    sweep_threads("STAR on DictionarySource", || {
+        StarConfig::new(10).fit_source(&src, &f).unwrap()
+    });
+    runtime::set_threads(0);
+}
+
+#[test]
+fn dictionary_backend_matches_materialized_matrix_exactly_per_thread_count() {
+    // The implicit and materialized backends run different accumulation
+    // orders, so they are only close, not bit-equal — but each backend
+    // must agree with *itself* across thread counts, and the supports
+    // they select must coincide.
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (dict, samples, f) = dictionary_problem();
+    use sparse_rsm::core::omp::OmpConfig;
+    let g = dict.design_matrix(&samples);
+    let src = DictionarySource::new(&dict, &samples);
+    for &n in &THREAD_COUNTS {
+        runtime::set_threads(n);
+        let via_matrix = OmpConfig::new(8).fit(&g, &f).unwrap();
+        let via_source = OmpConfig::new(8).fit_source(&src, &f).unwrap();
+        assert_eq!(
+            via_matrix.final_model().support(),
+            via_source.final_model().support(),
+            "backends disagree on the support at {n} threads"
+        );
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn cross_validation_is_thread_count_invariant() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (g, f) = matrix_problem();
+    let cfg = CvConfig::new(12);
+    runtime::set_threads(1);
+    let base = cross_validate(&g, &f, &cfg, |gt, ft| fit_path(Method::Omp, gt, ft, 12)).unwrap();
+    for &n in &THREAD_COUNTS[1..] {
+        runtime::set_threads(n);
+        let cv = cross_validate(&g, &f, &cfg, |gt, ft| fit_path(Method::Omp, gt, ft, 12)).unwrap();
+        assert_eq!(
+            cv.best_lambda, base.best_lambda,
+            "λ* differs at {n} threads"
+        );
+        for (a, b) in base.errors.iter().zip(&cv.errors) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "CV error curve differs at {n} threads ({a} vs {b})"
+            );
+        }
+        for (a, b) in base.errors_se.iter().zip(&cv.errors_se) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "CV SE curve differs at {n} threads"
+            );
+        }
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn rsm_threads_env_knob_is_honored_unless_overridden() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    // The programmatic override wins over the environment; with the
+    // override cleared, the env knob decides. (The env var is set for
+    // this one process-global check only.)
+    std::env::set_var("RSM_THREADS", "5");
+    runtime::set_threads(0);
+    assert_eq!(runtime::threads(), 5);
+    runtime::set_threads(2);
+    assert_eq!(runtime::threads(), 2);
+    std::env::remove_var("RSM_THREADS");
+    runtime::set_threads(0);
+    assert!(runtime::threads() >= 1);
+}

@@ -1,0 +1,311 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use — `Criterion::benchmark_group` / `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — over a plain wall-clock measurement
+//! loop (no statistics engine, no HTML reports).
+//!
+//! Under `cargo bench` (cargo passes `--bench` to the harness) each
+//! benchmark is warmed up and timed for a bounded interval, and the
+//! minimum / mean per-iteration times are printed. Under `cargo test`
+//! (no `--bench` flag) every benchmark body runs exactly once as a
+//! smoke test, keeping the tier-1 suite fast.
+
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group: a function name, an input
+/// parameter, or both.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]. The stub times each
+/// routine call individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Larger inputs; identical behavior in the stub.
+    LargeInput,
+    /// One batch per sample; identical behavior in the stub.
+    PerIteration,
+}
+
+/// Top-level benchmark driver (stub of `criterion::Criterion`).
+pub struct Criterion {
+    full: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench invokes harness=false bench executables with
+        // `--bench`; its absence means we are a `cargo test` smoke run.
+        Criterion {
+            full: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.full, &id.into().label, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a prefix (stub of
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's time budget is
+    /// fixed, so the sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(self.criterion.full, &label, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion.full, &label, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one(full: bool, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        full,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if full && b.iters > 0 {
+        let per_iter = b.total.as_secs_f64() / b.iters as f64;
+        println!(
+            "{label:<50} {:>12} /iter ({} iters)",
+            fmt_time(per_iter),
+            b.iters
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Per-benchmark timing context handed to the bench closure.
+pub struct Bencher {
+    full: bool,
+    total: Duration,
+    iters: u64,
+}
+
+/// Wall-clock budget for one benchmark's measurement phase. Bounded so
+/// a full `cargo bench` sweep stays in the minutes even with many
+/// benchmarks.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+
+impl Bencher {
+    /// Times repeated calls of `routine` (stub of `Bencher::iter`).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.full {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up: run until the warm-up budget elapses.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine());
+        }
+        // Measurement: count iterations inside the time budget.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_BUDGET {
+                self.total = elapsed;
+                self.iters = iters;
+                return;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding the
+    /// setup cost (stub of `Bencher::iter_batched`).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.full {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while measured < MEASURE_BUDGET {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += t0.elapsed();
+            iters += 1;
+        }
+        self.total = measured;
+        self.iters = iters;
+    }
+}
+
+/// Re-export so `criterion::black_box` call sites keep working.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a single runner function (stub of
+/// `criterion_group!`; only the positional form is supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group (stub of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut c = Criterion { full: false };
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_and_ids_compose_labels() {
+        let id = BenchmarkId::new("omp", 1000);
+        assert_eq!(id.label, "omp/1000");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+
+    #[test]
+    fn full_mode_measures_iterations() {
+        let mut b = Bencher {
+            full: true,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.iters > 0);
+        assert!(b.total >= MEASURE_BUDGET);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion { full: false };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1usize, |b, &_n| {
+            b.iter_batched(|| vec![0.0f64; 8], |v| v.len(), BatchSize::SmallInput);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,484 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The real proptest shrinks failing inputs through a value tree; this
+//! stub only *generates* random cases (deterministically seeded, so a
+//! failure reproduces on re-run) and reports the first failing case
+//! without shrinking. That covers what this workspace's property tests
+//! need:
+//!
+//! - `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] fn ... }`
+//! - range strategies (`-1.0f64..1.0`, `0u64..1_000_000`, ...)
+//! - `proptest::collection::vec(strategy, len_or_range)`
+//! - `.prop_map(...)` and `impl Strategy<Value = T>` helper functions
+//! - string strategies from a character-class regex (`"[ -~]{0,60}"`)
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assume!`
+//!
+//! A failing case panics with the per-case seed; cases are seeded from
+//! a fixed stream, so the same binary reproduces the same inputs.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// A generator of random values (stub counterpart of
+    /// `proptest::strategy::Strategy`, without shrinking).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (stub `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    use rand::Rng;
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            self.start + (self.end - self.start) * rng.random::<f64>()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            self.start + (self.end - self.start) * rng.random::<f32>()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.start..self.end)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+    /// String strategy from a character-class pattern: a sequence of
+    /// literal characters or `[...]` classes (with `a-z` ranges), each
+    /// optionally followed by `{n}`, `{min,max}`, `*`, `+`, or `?`.
+    /// This is the regex subset the workspace's tests use; unsupported
+    /// syntax panics at generation time rather than silently producing
+    /// the wrong distribution.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn generate_pattern(pat: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One item: a character class or a (possibly escaped) literal.
+            let ranges: Vec<(char, char)> = match chars[i] {
+                '[' => {
+                    let mut cls = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            cls.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            cls.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated [ in pattern {pat:?}");
+                    i += 1; // ']'
+                    cls
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "trailing \\ in pattern {pat:?}");
+                    let c = chars[i + 1];
+                    i += 2;
+                    vec![(c, c)]
+                }
+                c if "(){}|^$.*+?".contains(c) => {
+                    panic!("regex feature {c:?} not supported by the proptest stub: {pat:?}")
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .expect("unterminated { in pattern")
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((a, b)) => (
+                                a.parse::<usize>().expect("bad {min,max}"),
+                                b.parse::<usize>().expect("bad {min,max}"),
+                            ),
+                            None => {
+                                let n = body.parse::<usize>().expect("bad {n}");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let reps = min + rng.random_range(0..(max - min + 1));
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            for _ in 0..reps {
+                let mut pick = rng.random_range(0u32..total);
+                for &(lo, hi) in &ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(lo as u32 + pick).unwrap());
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Element-count specification for [`vec`]: an exact length or a
+    /// half-open range of lengths.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`] (stub `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.min..self.size.max_excl);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (stub: only the case count).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of successful random cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assert!` failed; the test panics with this message.
+        Fail(String),
+        /// A `prop_assume!` rejected the inputs; the case is retried.
+        Reject,
+    }
+
+    /// Runs `f` until `config.cases` cases pass, panicking on the
+    /// first failure. Each attempt gets an rng seeded from a fixed
+    /// stream, so failures reproduce exactly on re-run.
+    pub fn run_cases<F>(config: ProptestConfig, mut f: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut attempt = 0u64;
+        while passed < config.cases {
+            let seed = 0xA17E_57EDu64.wrapping_add(attempt);
+            attempt += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < 16 * config.cases.max(256),
+                        "prop_assume! rejected too many cases ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case failed (case seed {seed:#x}, after {passed} passing cases): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies (stub of the `proptest!` macro; no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                $crate::test_runner::run_cases($cfg, |__proptest_rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                    )+
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message (stub of `prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)*), l, r),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn range_strategies_stay_in_bounds(
+            x in -2.5f64..1.5,
+            n in 3usize..9,
+            s in 0u64..1000,
+        ) {
+            prop_assert!((-2.5..1.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(s < 1000);
+        }
+
+        fn vec_strategy_respects_len(
+            fixed in crate::collection::vec(0.0f64..1.0, 7),
+            ranged in crate::collection::vec(-1.0f64..0.0, 2..5),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((2..5).contains(&ranged.len()));
+            prop_assert!(ranged.iter().all(|v| (-1.0..0.0).contains(v)));
+        }
+
+        fn prop_map_applies(
+            doubled in (1u32..50).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(doubled % 2 == 0 && doubled < 100);
+        }
+
+        fn assume_retries(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        fn string_pattern_generates_class(s in "[ -~]{0,60}") {
+            prop_assert!(s.len() <= 60);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(-1.0f64..1.0, 3..10);
+        let a: Vec<Vec<f64>> = (0..5)
+            .map(|i| strat.generate(&mut StdRng::seed_from_u64(i)))
+            .collect();
+        let b: Vec<Vec<f64>> = (0..5)
+            .map(|i| strat.generate(&mut StdRng::seed_from_u64(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic() {
+        crate::test_runner::run_cases(ProptestConfig::with_cases(4), |_| {
+            Err(crate::test_runner::TestCaseError::Fail("boom".into()))
+        });
+    }
+}

@@ -1,0 +1,380 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde streams through `Serializer`/`Deserializer` visitor
+//! traits; this stub goes through an owned [`Value`] tree instead,
+//! which is all the workspace needs (JSON persistence of small model
+//! bundles and experiment records). The derive macros re-exported from
+//! the vendored `serde_derive` generate impls of these traits.
+//!
+//! Covered surface:
+//!
+//! - `#[derive(Serialize, Deserialize)]` on named-field structs;
+//! - primitives, `String`, `Option<T>`, `Vec<T>`, 2- and 3-tuples;
+//! - `serde_json::{to_string, to_string_pretty, from_str}` (in the
+//!   sibling `serde_json` stub, built on [`Value`]).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// An owned JSON-shaped value tree — the stub's data model.
+///
+/// Object fields keep insertion order so serialized output matches the
+/// struct declaration order, like real `serde_json` with default
+/// features.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2⁵³ are exact).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up an object field by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        DeError(m.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible to a [`Value`] (stub counterpart of
+/// `serde::Serialize`).
+pub trait Serialize {
+    /// Converts `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] (stub counterpart of
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting a [`DeError`] on shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Extracts and deserializes an object field — used by the derive
+/// macro's generated code.
+///
+/// # Errors
+///
+/// Fails if `v` is not an object, the field is absent, or the field's
+/// own deserialization fails.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(fv) => T::from_value(fv).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => match v {
+            Value::Obj(_) => Err(DeError(format!("missing field `{name}`"))),
+            other => Err(DeError(format!(
+                "expected object with field `{name}`, found {}",
+                kind_name(other)
+            ))),
+        },
+    }
+}
+
+fn kind_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Num(_) => "number",
+        Value::Str(_) => "string",
+        Value::Arr(_) => "array",
+        Value::Obj(_) => "object",
+    }
+}
+
+// ---- primitive impls -------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!(
+                "expected bool, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(*n),
+            // Non-finite floats serialize as null (as in serde_json);
+            // accept the round trip leniently.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError(format!(
+                "expected number, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => {
+                        if n.fract() != 0.0 || !n.is_finite() {
+                            return Err(DeError(format!("expected integer, found {n}")));
+                        }
+                        if *n < <$t>::MIN as f64 || *n > <$t>::MAX as f64 {
+                            return Err(DeError(format!(
+                                "integer {n} out of range for {}", stringify!($t),
+                            )));
+                        }
+                        Ok(*n as $t)
+                    }
+                    other => Err(DeError(format!(
+                        "expected integer, found {}", kind_name(other),
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!(
+                "expected string, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+// ---- containers ------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!(
+                "expected array, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError(format!(
+                "expected 2-element array, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(DeError(format!(
+                "expected 3-element array, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_get_and_kinds() {
+        let v = Value::Obj(vec![("a".into(), Value::Num(1.0))]);
+        assert_eq!(v.get("a"), Some(&Value::Num(1.0)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(Value::Null.get("a"), None);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn integer_shape_errors() {
+        assert!(usize::from_value(&Value::Num(1.5)).is_err());
+        assert!(usize::from_value(&Value::Num(-1.0)).is_err());
+        assert!(u8::from_value(&Value::Num(300.0)).is_err());
+        assert!(usize::from_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let v: Vec<(usize, f64)> = vec![(1, 0.5), (9, -2.0)];
+        let back = Vec::<(usize, f64)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(v, back);
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&o.to_value()).unwrap(), None);
+        let s: Option<f64> = Some(3.0);
+        assert_eq!(Option::<f64>::from_value(&s.to_value()).unwrap(), Some(3.0));
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let v = Value::Obj(vec![]);
+        let err = field::<usize>(&v, "lambda").unwrap_err();
+        assert!(err.to_string().contains("lambda"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored [`serde`](../serde) stub's value-based
+//! `Serialize` / `Deserialize` traits for plain named-field structs —
+//! the only shape this workspace derives. Implemented directly on
+//! `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline): the input is token-walked to extract the struct name and
+//! field names, and the generated impl is assembled as source text and
+//! re-parsed.
+//!
+//! Unsupported shapes (enums, tuple structs, generics, `#[serde]`
+//! attributes) produce a `compile_error!` naming the limitation, so a
+//! future use of them fails loudly rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Struct name plus field identifiers, extracted from the derive input.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Token-walks a `struct` item, skipping attributes and visibility.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut it = input.into_iter().peekable();
+    // Item level: skip #[...] attributes and `pub` / `pub(...)`.
+    let name = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match it.next() {
+                Some(TokenTree::Ident(n)) => break n.to_string(),
+                _ => return Err("expected struct name".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err(
+                    "the vendored serde_derive stub only supports structs, not enums".into(),
+                );
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "union" => {
+                return Err("cannot derive serde traits for a union".into());
+            }
+            Some(_) => {}
+            None => return Err("unexpected end of derive input".into()),
+        }
+    };
+    // Generics are not used by this workspace; reject rather than
+    // generate a broken impl.
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(
+                    "the vendored serde_derive stub does not support generic structs".into(),
+                );
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(
+                    "the vendored serde_derive stub does not support tuple/unit structs".into(),
+                );
+            }
+            Some(_) => {}
+            None => return Err("struct body not found".into()),
+        }
+    };
+
+    // Field level: `#[attrs] vis name : Type ,` — commas nested in
+    // parenthesized groups are consumed with their group; explicit
+    // depth tracking handles `<`/`>` in type paths.
+    let mut fields = Vec::new();
+    let mut ft = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match ft.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    ft.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = ft.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            ft.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => {
+                    if id.to_string().starts_with("r#") {
+                        return Err("raw identifiers are not supported by the serde stub".into());
+                    }
+                    break Some(id.to_string());
+                }
+                Some(other) => {
+                    return Err(format!("unexpected token {other} in struct body"));
+                }
+                None => break None,
+            }
+        };
+        let Some(field) = field else { break };
+        match ft.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected ':' after field `{field}`")),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match ft.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        fields.push(field);
+    }
+    if fields.is_empty() {
+        return Err(format!("struct {name} has no named fields to serialize"));
+    }
+    Ok(StructShape { name, fields })
+}
+
+/// Derives the vendored `serde::Serialize` (value-based) for a
+/// named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut entries = String::new();
+    for f in &shape.fields {
+        entries.push_str(&format!(
+            "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize` (value-based) for a
+/// named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inits = String::new();
+    for f in &shape.fields {
+        inits.push_str(&format!("{f}: ::serde::field(value, \"{f}\")?,"));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
