@@ -89,6 +89,7 @@ pub fn gauss_hermite(n: usize) -> (Vec<f64>, Vec<f64>) {
         jac[(k - 1, k)] = b;
         jac[(k, k - 1)] = b;
     }
+    // rsm-lint: allow(R3) — the Golub-Welsch Jacobi matrix is symmetric tridiagonal by construction; eigensolver failure is unreachable
     let eig = SymmetricEigen::new(&jac).expect("Jacobi matrix eigendecomposition");
     let mut pairs: Vec<(f64, f64)> = (0..n)
         .map(|i| {
@@ -97,7 +98,7 @@ pub fn gauss_hermite(n: usize) -> (Vec<f64>, Vec<f64>) {
             (x, v0 * v0)
         })
         .collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite nodes"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let nodes = pairs.iter().map(|p| p.0).collect();
     let weights = pairs.iter().map(|p| p.1).collect();
     (nodes, weights)

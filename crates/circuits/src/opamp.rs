@@ -132,6 +132,7 @@ impl OpAmp {
         let dy = vec![0.0; OPAMP_NUM_VARS];
         let (_, vout) = amp
             .simulate(&dy)
+            // rsm-lint: allow(R3) — nominal-point simulation failing means the fixed testbench itself is broken; unrecoverable by the caller
             .expect("nominal OpAmp must simulate cleanly");
         amp.nominal_vout = vout.offset_raw;
         amp
@@ -323,6 +324,7 @@ impl PerformanceCircuit for OpAmp {
     fn evaluate(&self, dy: &[f64]) -> Vec<f64> {
         let p = self
             .try_evaluate(dy)
+            // rsm-lint: allow(R3) — infallible `evaluate` contract: a non-converging sample is a testbench bug; `try_evaluate` is the fallible path
             .expect("OpAmp sample failed to converge");
         vec![p.gain, p.bandwidth, p.power, p.offset]
     }

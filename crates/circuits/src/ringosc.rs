@@ -159,7 +159,7 @@ impl RingOscillator {
             return None; // failed to oscillate
         }
         // Mean period from first to last crossing.
-        let span = rising.last().unwrap() - rising.first().unwrap();
+        let span = *rising.last()? - *rising.first()?;
         Some((rising.len() - 1) as f64 / span)
     }
 }
@@ -182,6 +182,7 @@ impl PerformanceCircuit for RingOscillator {
     fn evaluate(&self, dy: &[f64]) -> Vec<f64> {
         vec![self
             .try_frequency(dy)
+            // rsm-lint: allow(R3) — infallible `evaluate` contract: a non-starting oscillator is a testbench bug; `try_frequency` is the fallible path
             .expect("ring oscillator failed to start")]
     }
 }

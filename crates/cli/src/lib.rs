@@ -17,7 +17,7 @@ use rsm_core::select::CvConfig;
 use rsm_core::{codegen, solver, Method, ModelOrder, SparseModel};
 use rsm_stats::metrics::relative_error;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A fitted model bundle as persisted by `rsm fit` (JSON).
@@ -59,7 +59,7 @@ impl ModelBundle {
 #[derive(Debug, Default)]
 struct Options {
     positional: Vec<String>,
-    flags: HashMap<String, String>,
+    flags: BTreeMap<String, String>,
 }
 
 impl Options {

@@ -20,6 +20,7 @@ use crate::model::SparseModel;
 use crate::path::SparsePath;
 use crate::{CoreError, Result};
 use rsm_linalg::cholesky::GrowingCholesky;
+use rsm_linalg::tol;
 use rsm_linalg::vec_ops::{axpy, dot, norm2};
 use rsm_linalg::Matrix;
 
@@ -78,7 +79,7 @@ impl LarConfig {
             ));
         }
         let f_norm = norm2(f);
-        if f_norm == 0.0 {
+        if tol::exactly_zero(f_norm) {
             return Ok(SparsePath::new(m, vec![SparseModel::zero(m)], vec![0.0]));
         }
         // Column norms for internal normalization.
@@ -207,7 +208,7 @@ impl LarConfig {
             let mut drop_idx: Option<usize> = None;
             if self.lasso {
                 for (pos, (&j, &wj)) in active.iter().zip(&w).enumerate() {
-                    if wj != 0.0 {
+                    if !tol::exactly_zero(wj) {
                         let gd = -beta[j] / wj;
                         if gd > 1e-14 && gd < gamma {
                             gamma = gd;

@@ -10,6 +10,7 @@
 
 use crate::model::SparseModel;
 use crate::{CoreError, Result};
+use rsm_linalg::tol;
 use rsm_linalg::vec_ops::{axpy, norm2};
 use rsm_linalg::Matrix;
 
@@ -110,7 +111,7 @@ impl LassoCdConfig {
                 let rho = rsm_linalg::vec_ops::dot(&col, &res) + col_sq[j] * alpha[j];
                 let new = soft_threshold(rho, self.penalty) / col_sq[j];
                 let delta = new - alpha[j];
-                if delta != 0.0 {
+                if !tol::exactly_zero(delta) {
                     axpy(-delta, &col, &mut res);
                     alpha[j] = new;
                 }
@@ -123,7 +124,7 @@ impl LassoCdConfig {
                     alpha
                         .iter()
                         .enumerate()
-                        .filter(|&(_, &a)| a != 0.0)
+                        .filter(|&(_, &a)| !tol::exactly_zero(a))
                         .map(|(j, &a)| (j, a))
                         .collect(),
                 ));

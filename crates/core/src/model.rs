@@ -1,5 +1,6 @@
 //! The sparse model produced by every solver.
 
+use rsm_linalg::tol;
 use serde::{Deserialize, Serialize};
 
 /// A sparse coefficient vector `α`: the solution of `G·α ≈ F` with only
@@ -33,7 +34,7 @@ impl SparseModel {
                 _ => merged.push((i, v)),
             }
         }
-        merged.retain(|&(_, v)| v != 0.0);
+        merged.retain(|&(_, v)| !tol::exactly_zero(v));
         SparseModel {
             num_bases,
             coeffs: merged,
@@ -155,11 +156,7 @@ impl SparseModel {
     pub fn describe(&self, dict: &rsm_basis::Dictionary) -> String {
         use std::fmt::Write as _;
         let mut rows: Vec<(usize, f64)> = self.coeffs.clone();
-        rows.sort_by(|a, b| {
-            b.1.abs()
-                .partial_cmp(&a.1.abs())
-                .expect("finite coefficients")
-        });
+        rows.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
         let mut out = String::new();
         let _ = writeln!(
             out,

@@ -19,6 +19,7 @@ use crate::path::SparsePath;
 use crate::source::AtomSource;
 use crate::{CoreError, Result};
 use rsm_linalg::qr::IncrementalQr;
+use rsm_linalg::tol;
 use rsm_linalg::vec_ops::{dot, norm2};
 use rsm_linalg::Matrix;
 
@@ -94,7 +95,7 @@ impl OmpConfig {
             ));
         }
         let f_norm = norm2(f);
-        if f_norm == 0.0 {
+        if tol::exactly_zero(f_norm) {
             // Degenerate: the zero model is exact.
             return Ok(SparsePath::new(m, vec![SparseModel::zero(m)], vec![0.0]));
         }

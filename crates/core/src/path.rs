@@ -70,6 +70,7 @@ impl SparsePath {
 
     /// The final (largest-`λ`) model.
     pub fn final_model(&self) -> &SparseModel {
+        // rsm-lint: allow(R3) — RegularizationPath constructors record at least one snapshot; emptiness is a construction bug
         self.snapshots.last().expect("non-empty path")
     }
 

@@ -151,7 +151,7 @@ where
     let (best_idx, &best_error) = errors
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite CV errors"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .ok_or_else(|| CoreError::BadConfig("empty CV error curve".into()))?;
     let best_lambda = if cfg.one_se_rule {
         let threshold = best_error + errors_se[best_idx];

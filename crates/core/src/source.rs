@@ -14,6 +14,7 @@
 //! row, with `O(K + M)` scratch instead of `O(K·M)` storage.
 
 use rsm_basis::Dictionary;
+use rsm_linalg::tol;
 use rsm_linalg::Matrix;
 
 /// Minimum `K·M` work (rows × atoms) before the streaming correlation
@@ -65,6 +66,7 @@ impl AtomSource for Matrix {
     }
 
     fn correlate(&self, res: &[f64]) -> Vec<f64> {
+        // rsm-lint: allow(R3) — `res` is produced by this same source's matvec, so the length invariant holds by construction
         self.matvec_t(res).expect("residual length mismatch")
     }
 
@@ -149,7 +151,7 @@ impl AtomSource for DictionarySource<'_> {
                     let mut row = vec![0.0; m];
                     for k in rr {
                         let rk = res[k];
-                        if rk == 0.0 {
+                        if tol::exactly_zero(rk) {
                             continue;
                         }
                         self.dict.eval_point_into(self.samples.row(k), &mut row);
@@ -170,7 +172,7 @@ impl AtomSource for DictionarySource<'_> {
         let mut xi = vec![0.0; m];
         let mut row = vec![0.0; m];
         for (k, &rk) in res.iter().enumerate() {
-            if rk == 0.0 {
+            if tol::exactly_zero(rk) {
                 continue;
             }
             self.dict.eval_point_into(self.samples.row(k), &mut row);

@@ -16,6 +16,7 @@ use crate::model::SparseModel;
 use crate::path::SparsePath;
 use crate::source::AtomSource;
 use crate::{CoreError, Result};
+use rsm_linalg::tol;
 use rsm_linalg::vec_ops::{axpy, norm2};
 use rsm_linalg::Matrix;
 
@@ -69,7 +70,7 @@ impl StarConfig {
             ));
         }
         let f_norm = norm2(f);
-        if f_norm == 0.0 {
+        if tol::exactly_zero(f_norm) {
             return Ok(SparsePath::new(m, vec![SparseModel::zero(m)], vec![0.0]));
         }
         let lambda_max = self.lambda.min(m);

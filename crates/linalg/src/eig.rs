@@ -131,7 +131,7 @@ impl SymmetricEigen {
         }
         let mut order: Vec<usize> = (0..n).collect();
         let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-        order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+        order.sort_by(|&i, &j| diag[j].total_cmp(&diag[i]));
         let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
         let eigenvectors = v.select_cols(&order);
         Ok(SymmetricEigen {

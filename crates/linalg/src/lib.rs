@@ -52,6 +52,7 @@ pub mod lu;
 pub mod matrix;
 pub mod qr;
 pub mod svd;
+pub mod tol;
 pub mod vec_ops;
 
 pub use complex::Complex;

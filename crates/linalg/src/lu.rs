@@ -1,6 +1,7 @@
 //! LU factorization with partial pivoting, the linear solver behind
 //! the circuit simulator's DC and transient analyses.
 
+use crate::tol;
 use crate::{LinalgError, Matrix, Result};
 
 /// LU factorization `P·A = L·U` with partial (row) pivoting.
@@ -78,7 +79,7 @@ impl LuDecomposition {
             for i in (k + 1)..n {
                 let f = lu[(i, k)] / pivot;
                 lu[(i, k)] = f;
-                if f != 0.0 {
+                if !tol::exactly_zero(f) {
                     for c in (k + 1)..n {
                         let u = lu[(k, c)];
                         lu[(i, c)] -= f * u;

@@ -1,5 +1,6 @@
 //! Row-major dense matrix type.
 
+use crate::tol;
 use crate::vec_ops;
 use crate::{LinalgError, Result};
 use std::fmt;
@@ -328,7 +329,7 @@ impl Matrix {
                             &mut block[(i - start) * other.cols..(i - start + 1) * other.cols];
                         for k in 0..self.cols {
                             let aik = self.data[i * self.cols + k];
-                            if aik == 0.0 {
+                            if tol::exactly_zero(aik) {
                                 continue;
                             }
                             vec_ops::axpy(aik, other.row(k), orow);
@@ -349,7 +350,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self.data[i * self.cols + k];
-                if aik == 0.0 {
+                if tol::exactly_zero(aik) {
                     continue;
                 }
                 let brow = other.row(k);
@@ -367,7 +368,7 @@ impl Matrix {
             let row = self.row(r);
             for i in 0..self.cols {
                 let xi = row[i];
-                if xi == 0.0 {
+                if tol::exactly_zero(xi) {
                     continue;
                 }
                 for (j, &xj) in row.iter().enumerate().skip(i) {

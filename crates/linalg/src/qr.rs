@@ -6,6 +6,7 @@
 //! dictionary column, so re-factoring from scratch (`O(K·p²)` per step)
 //! is replaced by a single orthogonalization pass (`O(K·p)` per step).
 
+use crate::tol;
 use crate::vec_ops::{axpy, dot, norm2};
 use crate::{LinalgError, Matrix, Result};
 
@@ -68,7 +69,7 @@ impl QrDecomposition {
                 alpha += x * x;
             }
             let alpha = alpha.sqrt();
-            if alpha == 0.0 {
+            if tol::exactly_zero(alpha) {
                 // Zero column tail: nothing to annihilate.
                 tau[j] = 0.0;
                 vhead[j] = 0.0;
@@ -77,7 +78,11 @@ impl QrDecomposition {
             let beta = if v[j] >= 0.0 { -alpha } else { alpha };
             v[j] -= beta;
             let vnorm_sq = dot(&v[j..m], &v[j..m]);
-            tau[j] = if vnorm_sq == 0.0 { 0.0 } else { 2.0 / vnorm_sq };
+            tau[j] = if tol::exactly_zero(vnorm_sq) {
+                0.0
+            } else {
+                2.0 / vnorm_sq
+            };
             // Apply H = I - tau v vᵀ to the remaining columns.
             for c in j..n {
                 let mut s = 0.0;
@@ -125,7 +130,7 @@ impl QrDecomposition {
         }
         // Q = H_0 H_1 … H_{n-1} · [I; 0]: apply reflectors in reverse.
         for j in (0..self.n).rev() {
-            if self.tau[j] == 0.0 {
+            if tol::exactly_zero(self.tau[j]) {
                 continue;
             }
             for c in 0..self.n {
@@ -146,7 +151,7 @@ impl QrDecomposition {
     /// Applies `Qᵀ` to a vector of length `m`, in place.
     fn apply_qt(&self, b: &mut [f64]) {
         for j in 0..self.n {
-            if self.tau[j] == 0.0 {
+            if tol::exactly_zero(self.tau[j]) {
                 continue;
             }
             let mut s = self.vhead[j] * b[j];
@@ -294,7 +299,7 @@ impl IncrementalQr {
         }
         let nv = norm2(&v);
         // Rank test relative to the incoming column's own norm.
-        if nv <= norm_orig * 1e-10 || nv == 0.0 {
+        if nv <= norm_orig * 1e-10 || tol::exactly_zero(nv) {
             return Err(LinalgError::Singular { index: p });
         }
         let inv = 1.0 / nv;

@@ -4,6 +4,7 @@
 //! rank-revealing checks in tests. One-sided Jacobi is simple, robust,
 //! and accurate for the modest sizes we need (`n ≲ 10³`).
 
+use crate::tol;
 use crate::vec_ops::{dot, norm2};
 use crate::{LinalgError, Matrix, Result};
 
@@ -62,7 +63,7 @@ impl Svd {
                     let alpha = dot(&cols[p], &cols[p]);
                     let beta = dot(&cols[q], &cols[q]);
                     let gamma = dot(&cols[p], &cols[q]);
-                    if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                    if gamma.abs() <= eps * (alpha * beta).sqrt() || tol::exactly_zero(gamma) {
                         continue;
                     }
                     rotated = true;
@@ -104,7 +105,7 @@ impl Svd {
             .enumerate()
             .map(|(j, c)| (norm2(c), j))
             .collect();
-        sv.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite singular values"));
+        sv.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut u = Matrix::zeros(m, n);
         let mut vs = Matrix::zeros(n, n);
         let mut singular_values = Vec::with_capacity(n);
@@ -147,7 +148,7 @@ impl Svd {
     pub fn condition_number(&self) -> f64 {
         let smax = *self.singular_values.first().unwrap_or(&0.0);
         let smin = *self.singular_values.last().unwrap_or(&0.0);
-        if smin == 0.0 {
+        if tol::exactly_zero(smin) {
             f64::INFINITY
         } else {
             smax / smin

@@ -1,0 +1,117 @@
+//! Designated floating-point comparison helpers (rsm-lint rule R2).
+//!
+//! Exact float `==`/`!=` is banned in workspace code because LAR/OMP
+//! are sensitive to tie-breaking and near-zero correlation tests: a
+//! comparison that is exact *by accident* is indistinguishable from
+//! one that is exact *on purpose*. Every comparison must route through
+//! this module so the choice is explicit and greppable:
+//!
+//! - [`exactly_zero`] / [`exactly_eq`] — bit-exact comparison, for
+//!   structural sentinels (a coefficient that was literally never
+//!   touched, a Householder `tau` stored as `0.0` meaning "skip") and
+//!   guards against dividing by a literal zero. These preserve the
+//!   exact semantics of `==` and therefore keep results bit-identical.
+//! - [`near_zero`] / [`approx_eq`] — tolerance-based comparison, for
+//!   genuinely approximate questions ("has the residual vanished?").
+//!
+//! The two exact helpers are the *only* sanctioned homes of the raw
+//! operator; their definitions carry the audited suppressions.
+
+/// Default absolute tolerance for [`near_zero`] when a caller has no
+/// better problem-scale estimate: `f64` epsilon squared-ish, far below
+/// any physically meaningful circuit quantity.
+pub const DEFAULT_ABS_TOL: f64 = 1e-12;
+
+/// Default relative tolerance for [`approx_eq`].
+pub const DEFAULT_REL_TOL: f64 = 1e-9;
+
+/// Bit-exact test against zero (matches both `+0.0` and `-0.0`).
+///
+/// Use for structural sentinels and divide-by-zero guards where any
+/// nonzero value — however tiny — must be treated as live data.
+#[inline]
+#[must_use]
+pub fn exactly_zero(x: f64) -> bool {
+    // rsm-lint: allow(R2) — definition site: this helper IS the sanctioned exact comparison
+    x == 0.0
+}
+
+/// Bit-exact equality (IEEE `==`: `-0.0 == 0.0`, NaN equals nothing).
+///
+/// Use only when both operands come from the same computation path and
+/// the question is "is this the identical stored value", never for
+/// results of differing round-off histories.
+#[inline]
+#[must_use]
+pub fn exactly_eq(a: f64, b: f64) -> bool {
+    // Definition site of the sanctioned exact comparison (R2 keys on
+    // literal operands, so no suppression is needed here).
+    #[allow(clippy::float_cmp)]
+    {
+        a == b
+    }
+}
+
+/// True when `|x| <= abs_tol`. NaN is never near zero.
+#[inline]
+#[must_use]
+pub fn near_zero(x: f64, abs_tol: f64) -> bool {
+    x.abs() <= abs_tol
+}
+
+/// Mixed relative/absolute closeness:
+/// `|a - b| <= max(abs_tol, rel_tol * max(|a|, |b|))`.
+///
+/// NaN compares close to nothing; equal infinities compare close.
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, rel_tol: f64, abs_tol: f64) -> bool {
+    if exactly_eq(a, b) {
+        return true; // covers equal infinities
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false; // NaN or mismatched infinities
+    }
+    let diff = (a - b).abs();
+    diff <= abs_tol.max(rel_tol * a.abs().max(b.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_zero_both_signs_and_subnormals() {
+        assert!(exactly_zero(0.0));
+        assert!(exactly_zero(-0.0));
+        assert!(!exactly_zero(f64::MIN_POSITIVE));
+        assert!(!exactly_zero(5e-324)); // smallest subnormal stays live
+        assert!(!exactly_zero(f64::NAN));
+    }
+
+    #[test]
+    fn exact_eq_is_ieee() {
+        assert!(exactly_eq(1.5, 1.5));
+        assert!(exactly_eq(0.0, -0.0));
+        assert!(!exactly_eq(f64::NAN, f64::NAN));
+        assert!(!exactly_eq(1.0, 1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn near_zero_uses_absolute_tolerance() {
+        assert!(near_zero(1e-13, DEFAULT_ABS_TOL));
+        assert!(near_zero(-1e-13, DEFAULT_ABS_TOL));
+        assert!(!near_zero(1e-11, DEFAULT_ABS_TOL));
+        assert!(!near_zero(f64::NAN, DEFAULT_ABS_TOL));
+    }
+
+    #[test]
+    fn approx_eq_mixes_rel_and_abs() {
+        assert!(approx_eq(1e9, 1e9 + 1.0, DEFAULT_REL_TOL, DEFAULT_ABS_TOL));
+        assert!(approx_eq(0.0, 1e-13, DEFAULT_REL_TOL, DEFAULT_ABS_TOL));
+        assert!(!approx_eq(1.0, 1.001, DEFAULT_REL_TOL, DEFAULT_ABS_TOL));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 0.0, 0.0));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1.0, 1.0));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY, 1.0, 1.0));
+    }
+}

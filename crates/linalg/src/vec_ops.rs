@@ -4,6 +4,8 @@
 //! most of its time in [`dot`] across dictionary columns), so they are
 //! kept monomorphic and allocation-free.
 
+use crate::tol;
+
 /// Dot product `xᵀ·y`.
 ///
 /// # Panics
@@ -38,7 +40,7 @@ pub fn norm2(x: &[f64]) -> f64 {
     let mut scale = 0.0f64;
     let mut ssq = 1.0f64;
     for &v in x {
-        if v != 0.0 {
+        if !tol::exactly_zero(v) {
             let a = v.abs();
             if scale < a {
                 let r = scale / a;

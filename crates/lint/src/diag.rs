@@ -1,0 +1,228 @@
+//! Diagnostic and rule metadata types plus human/JSON rendering.
+
+use std::fmt;
+
+/// Every rule rsm-lint can report. `R*` rules check the source tree;
+/// `S*` rules audit the suppression directives themselves (and can
+/// therefore never be suppressed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered-map types (`HashMap`/`HashSet`) in non-test code.
+    R1,
+    /// Exact floating-point `==`/`!=` against a float literal.
+    R2,
+    /// `unwrap()`/`expect()` in a library crate outside test code.
+    R3,
+    /// Nondeterminism source (`SystemTime::now`, `thread::current`,
+    /// environment reads) in non-bench, non-test code.
+    R4,
+    /// Any `unsafe` occurrence (the workspace is 100% safe Rust).
+    R5,
+    /// Malformed suppression: missing reason or unknown rule id.
+    S0,
+    /// Suppression that matched no diagnostic (stale allow).
+    S1,
+}
+
+/// All source-checking rules, in report order.
+pub const SOURCE_RULES: [Rule; 5] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5];
+
+impl Rule {
+    /// Stable rule identifier as used in `allow(...)` directives.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+            Rule::R5 => "R5",
+            Rule::S0 => "S0",
+            Rule::S1 => "S1",
+        }
+    }
+
+    /// Parses a rule id (`"R3"`) back to a [`Rule`]. Only source rules
+    /// are addressable from `allow(...)`.
+    pub fn parse(s: &str) -> Option<Rule> {
+        SOURCE_RULES.iter().copied().find(|r| r.id() == s)
+    }
+
+    /// Severity this rule reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::R1 | Rule::R4 | Rule::R5 | Rule::S0 => Severity::Error,
+            Rule::R2 | Rule::R3 | Rule::S1 => Severity::Warning,
+        }
+    }
+
+    /// One-line description shown by `rsm-lint rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::R1 => {
+                "unordered HashMap/HashSet in non-test code: iteration order is \
+                 randomized per process and leaks into results; use BTreeMap/BTreeSet \
+                 or sort before iterating"
+            }
+            Rule::R2 => {
+                "exact float ==/!= against a float literal: LAR/OMP tie-breaking and \
+                 near-zero tests are tolerance-sensitive; use the rsm_linalg::tol \
+                 helpers (exactly_zero/near_zero/approx_eq) to make intent explicit"
+            }
+            Rule::R3 => {
+                "unwrap()/expect() in a library crate outside #[cfg(test)]: recoverable \
+                 dimension/conditioning errors must surface as Result, not panics"
+            }
+            Rule::R4 => {
+                "nondeterminism source (SystemTime::now, thread::current, env reads) in \
+                 non-bench code: only the sanctioned RSM_THREADS entry point may read \
+                 the environment"
+            }
+            Rule::R5 => "unsafe code: the workspace is 100% safe Rust and stays that way",
+            Rule::S0 => "suppression directive without a written reason (or unknown rule id)",
+            Rule::S1 => "suppression directive that matched no diagnostic (stale allow)",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Diagnostic severity. Both levels fail the `check` command; the
+/// distinction is informational (errors break determinism guarantees
+/// directly, warnings are robustness hazards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Robustness hazard.
+    Warning,
+    /// Direct determinism violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One reported finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative file path (always with `/` separators).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable detail for this occurrence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line: severity[rule] message` (clickable span first).
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}[{}] {}",
+            self.file,
+            self.line,
+            self.rule.severity(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Full result of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of suppression directives that matched a diagnostic.
+    pub suppressions_used: usize,
+}
+
+impl Report {
+    /// True when the tree is clean under the shipped rule set.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Canonical sort so output is byte-identical run to run.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Machine-readable JSON document (schema version 1).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"suppressions_used\": {},\n",
+            self.suppressions_used
+        ));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+                 \"severity\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&d.file),
+                d.line,
+                d.rule,
+                d.rule.severity(),
+                json_escape(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Human-readable listing plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "rsm-lint: {} file(s) scanned, {} diagnostic(s), {} suppression(s) honored\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.suppressions_used
+        ));
+        out
+    }
+}

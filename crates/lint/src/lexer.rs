@@ -1,0 +1,431 @@
+//! A minimal Rust lexer — just enough syntax awareness for the rule
+//! engine in [`crate::rules`].
+//!
+//! The tokenizer understands line/block comments (including nesting),
+//! string/char/byte literals, raw strings with hash fences, lifetimes
+//! (so `'a` is not a broken char literal), identifiers, numeric
+//! literals (flagging which are floats), and punctuation. Everything
+//! carries a 1-based line number so diagnostics have real spans.
+//!
+//! It deliberately does **not** build an AST: the invariants rsm-lint
+//! checks (see DESIGN.md § Static analysis) are all expressible over a
+//! token stream plus a little bracket-depth bookkeeping, and a full
+//! parser would be a liability in an offline, no-new-deps build.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `unwrap`, ...).
+    Ident(String),
+    /// Numeric literal; `true` when it is a floating-point literal
+    /// (has a fractional part, an exponent, or an `f32`/`f64` suffix).
+    Number {
+        /// True for a floating-point literal.
+        float: bool,
+    },
+    /// String, raw-string, byte-string or char literal.
+    Literal,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// Punctuation. Multi-char operators that the rules care about
+    /// (`==`, `!=`, `::`, `->`) are fused into one token; everything
+    /// else is a single char.
+    Punct(String),
+    /// A comment (line or block). The raw text is preserved so the
+    /// suppression parser can read `rsm-lint: allow(...)` directives.
+    Comment(String),
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokenKind::Punct(s) if s == p)
+    }
+
+    /// True if this token is a floating-point numeric literal.
+    pub fn is_float(&self) -> bool {
+        matches!(self.kind, TokenKind::Number { float: true })
+    }
+}
+
+/// Lexes `src` into a token vector. Never fails: unrecognized bytes
+/// become single-char punctuation, and an unterminated literal simply
+/// swallows the rest of the file (good enough for linting — rustc will
+/// reject such a file anyway).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.out.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line),
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                _ if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment(text), line);
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+    /// Returns false (consuming nothing) when the `r`/`b` is just the
+    /// start of an ordinary identifier.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let mut ahead = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        // Count hash fence.
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(ahead + hashes) {
+            Some('"') => {}
+            Some('\'') if hashes == 0 && self.peek(0) == Some('b') && ahead == 1 => {
+                // b'x' byte char literal.
+                self.bump(); // b
+                self.bump(); // '
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push(TokenKind::Literal, line);
+                return true;
+            }
+            _ => return false,
+        }
+        if hashes == 0 && ahead == 1 && self.peek(0) == Some('r') {
+            // Could still be `r"..."`; raw string with no fence.
+        }
+        // Consume prefix + hashes + opening quote.
+        for _ in 0..(ahead + hashes + 1) {
+            self.bump();
+        }
+        // Scan for closing quote followed by the same number of hashes.
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` / `'static` followed by a non-quote is a lifetime;
+        // `'x'` / `'\n'` is a char literal.
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c == '_' || c.is_alphabetic() => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, line);
+        } else {
+            self.bump(); // opening quote
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokenKind::Literal, line);
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident(text), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let hex_or_bin = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('X') | Some('b') | Some('o'));
+        while let Some(c) = self.peek(0) {
+            let cont = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.'
+                    && !hex_or_bin
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit()))
+                || ((c == '+' || c == '-')
+                    && matches!(text.chars().last(), Some('e') | Some('E'))
+                    && !hex_or_bin);
+            if !cont {
+                // A trailing `1.` (dot not followed by a digit) is
+                // still a float literal: consume the dot unless it
+                // starts a method call or range (`1.max(2)`, `0..n`).
+                if c == '.'
+                    && !hex_or_bin
+                    && !matches!(self.peek(1), Some(d) if d == '.' || d == '_' || d.is_alphabetic())
+                {
+                    text.push(c);
+                    self.bump();
+                    continue;
+                }
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let float = !hex_or_bin
+            && (text.contains('.')
+                || text.ends_with("f32")
+                || text.ends_with("f64")
+                || (text.contains('e') || text.contains('E')));
+        self.push(TokenKind::Number { float }, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        let c = self.bump().unwrap_or(' ');
+        let fused = match (c, self.peek(0)) {
+            ('=', Some('=')) | ('!', Some('=')) | (':', Some(':')) => {
+                let n = self.bump().unwrap_or(' ');
+                format!("{c}{n}")
+            }
+            ('-', Some('>')) => {
+                self.bump();
+                "->".to_string()
+            }
+            _ => c.to_string(),
+        };
+        self.push(TokenKind::Punct(fused), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("a.unwrap()");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(".".into()),
+                TokenKind::Ident("unwrap".into()),
+                TokenKind::Punct("(".into()),
+                TokenKind::Punct(")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_detection() {
+        assert!(matches!(kinds("0.0")[0], TokenKind::Number { float: true }));
+        assert!(matches!(
+            kinds("1e-9")[0],
+            TokenKind::Number { float: true }
+        ));
+        assert!(matches!(
+            kinds("3f64")[0],
+            TokenKind::Number { float: true }
+        ));
+        assert!(matches!(kinds("42")[0], TokenKind::Number { float: false }));
+        assert!(matches!(
+            kinds("0xff")[0],
+            TokenKind::Number { float: false }
+        ));
+        // `1.max(2)` is an integer method call, not a float.
+        let ks = kinds("1.max(2)");
+        assert!(matches!(ks[0], TokenKind::Number { float: false }));
+        // Range `0..n` keeps the integer intact.
+        let ks = kinds("0..n");
+        assert!(matches!(ks[0], TokenKind::Number { float: false }));
+        assert_eq!(ks[1], TokenKind::Punct(".".into()));
+    }
+
+    #[test]
+    fn fused_operators() {
+        let ks = kinds("a == b != c :: d -> e");
+        let ps: Vec<_> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Punct(p) => Some(p.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ps, vec!["==", "!=", "::", "->"]);
+    }
+
+    #[test]
+    fn comments_preserved_with_lines() {
+        let ts = lex("x\n// rsm-lint: allow(R5) — reason\ny");
+        assert_eq!(ts[1].line, 2);
+        match &ts[1].kind {
+            TokenKind::Comment(c) => assert!(c.contains("allow(R5)")),
+            other => panic!("expected comment, got {other:?}"),
+        }
+        let ts = lex("/* a /* nested */ b */ z");
+        assert!(matches!(ts[0].kind, TokenKind::Comment(_)));
+        assert_eq!(ts[1].kind, TokenKind::Ident("z".into()));
+    }
+
+    #[test]
+    fn strings_chars_lifetimes() {
+        let ks = kinds(r#"let s = "a \" b"; let c = 'x'; fn f<'a>() {}"#);
+        assert!(ks.contains(&TokenKind::Literal));
+        assert!(ks.contains(&TokenKind::Lifetime));
+        // Raw string with fence and a fake comment inside.
+        let ks = kinds(r###"let s = r#"// not a comment "quote" here"#;"###);
+        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Comment(_))));
+        // Byte string and byte char.
+        let ks = kinds(r#"b"bytes" b'x'"#);
+        assert_eq!(ks, vec![TokenKind::Literal, TokenKind::Literal]);
+    }
+
+    #[test]
+    fn unsafe_in_string_is_not_an_ident() {
+        let ks = kinds(r#"let s = "unsafe";"#);
+        assert!(!ks.contains(&TokenKind::Ident("unsafe".into())));
+    }
+}

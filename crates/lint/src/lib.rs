@@ -1,0 +1,146 @@
+//! `rsm-lint` — workspace static analysis for determinism and
+//! numerical-robustness invariants.
+//!
+//! The paper's central claim (Li, DAC 2009) is that LAR/OMP pull a
+//! *deterministic* sparse solution out of an underdetermined system,
+//! and PR 1 extended that promise to the runtime: results are
+//! bit-identical at any thread count. This crate guards the invariants
+//! that make that true *statically*:
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | R1   | no unordered-map iteration in result-affecting code |
+//! | R2   | no exact float `==`/`!=` outside designated tolerance helpers |
+//! | R3   | no `unwrap()`/`expect()` in library crates outside tests |
+//! | R4   | no nondeterminism sources (wall clock, thread identity, env) |
+//! | R5   | no `unsafe` anywhere |
+//!
+//! Violations are suppressed inline with
+//! `// rsm-lint: allow(R#) — reason` and every suppression must carry
+//! a written reason (audited by rules S0/S1). See DESIGN.md § Static
+//! analysis for the full policy.
+//!
+//! The crate is std-only with a hand-rolled lexer (no `syn`): the
+//! build environment is offline and the lint must never be the thing
+//! that breaks the build.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+pub use diag::{Diagnostic, Report, Rule, Severity};
+pub use rules::{FileClass, LIB_CRATES};
+
+use std::path::{Path, PathBuf};
+
+/// Directories under the workspace root that `check` scans by default.
+pub const DEFAULT_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", "fixtures", ".git"];
+
+/// Lints the whole workspace rooted at `root` (the directory holding
+/// the workspace `Cargo.toml`).
+///
+/// # Errors
+///
+/// Returns a message if a scan root exists but cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for sub in DEFAULT_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    for path in &files {
+        let rel = relative_label(root, path);
+        let class = FileClass::from_path(&rel);
+        lint_one(path, &rel, &class, &mut report)?;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Lints explicitly named files/directories. Every file is treated as
+/// library-crate production code (see [`FileClass::lib_context`]), so
+/// fixtures exercise all rules wherever they live.
+///
+/// # Errors
+///
+/// Returns a message if a path cannot be read.
+pub fn lint_paths(paths: &[PathBuf]) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs_files(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    let class = FileClass::lib_context();
+    for path in &files {
+        let rel = path.to_string_lossy().replace('\\', "/");
+        lint_one(path, &rel, &class, &mut report)?;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Walks upward from `start` to find the workspace root (a directory
+/// whose `Cargo.toml` contains a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn lint_one(path: &Path, rel: &str, class: &FileClass, report: &mut Report) -> Result<(), String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let (diags, used) = rules::lint_source(rel, &src, class);
+    report.diagnostics.extend(diags);
+    report.suppressions_used += used;
+    report.files_scanned += 1;
+    Ok(())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

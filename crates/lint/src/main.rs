@@ -1,0 +1,135 @@
+//! `rsm-lint` command-line entry point.
+//!
+//! ```text
+//! rsm-lint check [--json] [--out FILE] [PATH...]
+//! rsm-lint rules [--json]
+//! ```
+//!
+//! `check` with no paths lints the whole workspace (found by walking
+//! up from the current directory); with paths it lints exactly those
+//! files/directories, treating them as library-crate production code.
+//! Exit status: 0 clean, 1 diagnostics reported, 2 usage/IO error.
+
+use rsm_lint::diag::SOURCE_RULES;
+use rsm_lint::{diag, find_workspace_root, lint_paths, lint_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("rsm-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+rsm-lint — static analysis for determinism and numerical robustness
+
+USAGE:
+  rsm-lint check [--json] [--out FILE] [PATH...]
+  rsm-lint rules [--json]
+
+check exits 0 when clean, 1 on any unsuppressed diagnostic, 2 on
+usage/IO errors. With no PATH, the enclosing cargo workspace is
+scanned; explicit paths are linted as library-crate production code.
+--json prints the machine-readable report to stdout; --out writes the
+JSON report to FILE while keeping the human listing on stdout.
+Suppress a finding with `// rsm-lint: allow(R#) — reason` (the reason
+is mandatory and stale directives are themselves reported).
+";
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(cmd) = args.first() else {
+        return Err(format!("missing subcommand\n\n{USAGE}"));
+    };
+    let mut json = false;
+    let mut out_file: Option<String> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" => {
+                let f = it.next().ok_or("--out requires a file argument")?;
+                out_file = Some(f.clone());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown option '{flag}'\n\n{USAGE}"));
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+    match cmd.as_str() {
+        "check" => cmd_check(json, out_file.as_deref(), &paths),
+        "rules" => {
+            cmd_rules(json);
+            Ok(true)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn cmd_check(json: bool, out_file: Option<&str>, paths: &[PathBuf]) -> Result<bool, String> {
+    let report = if paths.is_empty() {
+        let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+        let root = find_workspace_root(&cwd)
+            .ok_or("no enclosing cargo workspace found (run from the repo)")?;
+        lint_workspace(&root)?
+    } else {
+        lint_paths(paths)?
+    };
+    if let Some(f) = out_file {
+        std::fs::write(f, report.to_json()).map_err(|e| format!("cannot write {f}: {e}"))?;
+    }
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(report.is_clean())
+}
+
+fn cmd_rules(json: bool) {
+    if json {
+        let mut out = String::from("[");
+        for (i, r) in SOURCE_RULES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"rule\": \"{}\", \"severity\": \"{}\", \"summary\": \"{}\"}}",
+                r,
+                r.severity(),
+                diag::json_escape(r.summary())
+            ));
+        }
+        out.push_str("\n]\n");
+        print!("{out}");
+    } else {
+        for r in SOURCE_RULES {
+            println!("{} [{}] {}", r, r.severity(), r.summary());
+        }
+        println!(
+            "\nSuppress with `// rsm-lint: allow(R#) — reason`; S0 flags a missing \
+             reason, S1 a stale directive."
+        );
+    }
+}

@@ -1,0 +1,421 @@
+//! The rule engine: classifies a file, walks its token stream, and
+//! reports R1–R5 findings (minus suppressed ones), then audits the
+//! suppressions themselves (S0/S1).
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::suppress::SuppressionSet;
+
+/// Library crates where `unwrap()`/`expect()` must not appear outside
+/// test code (rule R3). Binaries (`cli`, `lint`) and the benchmark
+/// harness may panic on their own top-level errors.
+pub const LIB_CRATES: [&str; 8] = [
+    "core",
+    "linalg",
+    "basis",
+    "stats",
+    "spice",
+    "circuits",
+    "runtime",
+    // The root `sparse-rsm` facade under `src/` re-exports the crates
+    // above and is held to the same standard.
+    "sparse-rsm",
+];
+
+/// Crates whose whole purpose is wall-clock measurement; rule R4
+/// (nondeterminism sources) does not apply there.
+pub const BENCH_CRATES: [&str; 1] = ["bench"];
+
+/// How a file is treated by crate- and location-sensitive rules.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Crate name derived from the path (`crates/<name>/...`), or
+    /// `sparse-rsm` for the root `src/`, or `None` outside any crate.
+    pub crate_name: Option<String>,
+    /// File lives under a `tests/`, `benches/` or `examples/`
+    /// directory: R1–R4 treat it as test code.
+    pub is_test_file: bool,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative path (`/`-separated).
+    pub fn from_path(rel: &str) -> FileClass {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let crate_name = match parts.as_slice() {
+            ["crates", name, ..] => Some((*name).to_string()),
+            ["src", ..] => Some("sparse-rsm".to_string()),
+            _ => None,
+        };
+        let is_test_file = parts
+            .iter()
+            .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
+        FileClass {
+            crate_name,
+            is_test_file,
+        }
+    }
+
+    /// Explicit-path mode (fixtures, ad-hoc runs): the file is treated
+    /// as library-crate production code so every rule is exercised
+    /// regardless of where the file happens to live on disk.
+    pub fn lib_context() -> FileClass {
+        FileClass {
+            crate_name: Some("linalg".to_string()),
+            is_test_file: false,
+        }
+    }
+
+    fn is_lib_crate(&self) -> bool {
+        self.crate_name
+            .as_deref()
+            .is_some_and(|c| LIB_CRATES.contains(&c))
+    }
+
+    fn is_bench_crate(&self) -> bool {
+        self.crate_name
+            .as_deref()
+            .is_some_and(|c| BENCH_CRATES.contains(&c))
+    }
+}
+
+/// Lints one file's source text. `file` is the label used in
+/// diagnostics (workspace-relative path).
+pub fn lint_source(file: &str, src: &str, class: &FileClass) -> (Vec<Diagnostic>, usize) {
+    let tokens = lex(src);
+    let mut suppressions = SuppressionSet::collect(&tokens);
+    let in_test = mark_test_spans(&tokens);
+    // Comments never participate in code patterns; drop them (keeping
+    // the parallel in_test flags aligned).
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::Comment(_)))
+        .collect();
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut emit = |rule: Rule, line: u32, message: String| {
+        raw.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    for (ci, &(ti, tok)) in code.iter().enumerate() {
+        let test_code = class.is_test_file || in_test[ti];
+        let ident = tok.ident();
+        let at = |off: isize| -> Option<&Token> {
+            let j = ci as isize + off;
+            code.get(usize::try_from(j).ok()?).map(|&(_, t)| t)
+        };
+
+        // R5: unsafe anywhere, including test code.
+        if ident == Some("unsafe") {
+            emit(
+                Rule::R5,
+                tok.line,
+                "`unsafe` is banned: the workspace is 100% safe Rust".into(),
+            );
+            continue;
+        }
+        if test_code {
+            continue;
+        }
+
+        // R1: unordered map/set types.
+        if let Some(name @ ("HashMap" | "HashSet")) = ident {
+            emit(
+                Rule::R1,
+                tok.line,
+                format!(
+                    "`{name}` iteration order is nondeterministic; use \
+                     BTree{} or sort before iterating",
+                    &name[4..]
+                ),
+            );
+            continue;
+        }
+
+        // R2: exact float comparison against a float literal.
+        if (tok.is_punct("==") || tok.is_punct("!="))
+            && (at(-1).is_some_and(Token::is_float) || at(1).is_some_and(Token::is_float))
+        {
+            let op = match &tok.kind {
+                TokenKind::Punct(p) => p.clone(),
+                _ => String::new(),
+            };
+            emit(
+                Rule::R2,
+                tok.line,
+                format!(
+                    "exact float `{op}` against a literal; use rsm_linalg::tol \
+                     (exactly_zero/near_zero/approx_eq) to make the tolerance explicit"
+                ),
+            );
+            continue;
+        }
+
+        // R3: .unwrap()/.expect( in library crates.
+        if class.is_lib_crate() && tok.is_punct(".") {
+            if let Some(name @ ("unwrap" | "expect")) = at(1).and_then(Token::ident) {
+                if at(2).is_some_and(|t| t.is_punct("(")) {
+                    let line = at(1).map_or(tok.line, |t| t.line);
+                    emit(
+                        Rule::R3,
+                        line,
+                        format!(
+                            "`{name}()` in a library crate panics on recoverable \
+                             errors; return Result or justify with an allow"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // R4: nondeterminism sources outside bench crates.
+        if !class.is_bench_crate() {
+            if ident == Some("SystemTime") {
+                emit(
+                    Rule::R4,
+                    tok.line,
+                    "`SystemTime` injects wall-clock nondeterminism".into(),
+                );
+            } else if ident == Some("thread")
+                && at(1).is_some_and(|t| t.is_punct("::"))
+                && at(2).and_then(Token::ident) == Some("current")
+            {
+                emit(
+                    Rule::R4,
+                    tok.line,
+                    "`thread::current()` identity must not influence results".into(),
+                );
+            } else if ident == Some("env") && at(1).is_some_and(|t| t.is_punct("::")) {
+                if let Some(f @ ("var" | "vars" | "var_os" | "set_var" | "remove_var")) =
+                    at(2).and_then(Token::ident)
+                {
+                    emit(
+                        Rule::R4,
+                        tok.line,
+                        format!(
+                            "`env::{f}` reads ambient process state; only the \
+                             sanctioned RSM_THREADS entry point may do this"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| !suppressions.matches(d.rule, d.line))
+        .collect();
+    suppressions.audit(file, &mut out);
+    (out, suppressions.used_count())
+}
+
+/// Computes, for every token index, whether it sits inside a
+/// `#[cfg(test)]`/`#[test]`-gated item (attribute included).
+///
+/// The scan finds a test attribute, then extends the span over any
+/// further attributes and the following item: up to the matching `}`
+/// of the item's first brace block, or the first top-level `;` for
+/// brace-less items (`use`, type aliases).
+fn mark_test_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test) = scan_attribute(tokens, i + 1);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Extend over any immediately following attributes.
+        let mut j = attr_end;
+        while j < tokens.len()
+            && tokens[j].is_punct("#")
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct("["))
+        {
+            j = scan_attribute(tokens, j + 1).0;
+        }
+        // Consume the item.
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            } else if t.is_punct(";") && depth == 0 {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        for f in flags.iter_mut().take(j).skip(i) {
+            *f = true;
+        }
+        i = j;
+    }
+    flags
+}
+
+/// Scans the attribute starting at the `[` token index; returns the
+/// index one past the matching `]` and whether the attribute gates
+/// test-only code (`#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ..))]`
+/// — but not `#[cfg(not(test))]` and not `#[cfg_attr(test, ..)]`).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if let Some(id) = t.ident() {
+            idents.push(id);
+        }
+        j += 1;
+    }
+    let is_test = idents == ["test"]
+        || (idents.contains(&"cfg")
+            && idents.contains(&"test")
+            && !idents.contains(&"not")
+            && !idents.contains(&"cfg_attr"));
+    (j, is_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> Vec<Diagnostic> {
+        lint_source("test.rs", src, &FileClass::lib_context()).0
+    }
+
+    fn rules_of(ds: &[Diagnostic]) -> Vec<Rule> {
+        ds.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn r1_fires_on_hashmap_not_btreemap() {
+        let ds = lint_lib("use std::collections::HashMap;\nfn f(m: HashMap<u8, u8>) {}\n");
+        assert_eq!(rules_of(&ds), vec![Rule::R1, Rule::R1]);
+        assert!(lint_lib("use std::collections::BTreeMap;\n").is_empty());
+    }
+
+    #[test]
+    fn r2_fires_on_float_literal_comparison_only() {
+        let ds = lint_lib("fn f(x: f64) -> bool { x == 0.0 }\n");
+        assert_eq!(rules_of(&ds), vec![Rule::R2]);
+        let ds = lint_lib("fn f(x: f64) -> bool { 1e-9 != x }\n");
+        assert_eq!(rules_of(&ds), vec![Rule::R2]);
+        // Integer comparisons and float inequalities are fine.
+        assert!(lint_lib("fn f(n: usize) -> bool { n == 0 }\n").is_empty());
+        assert!(lint_lib("fn f(x: f64) -> bool { x < 1.0 }\n").is_empty());
+    }
+
+    #[test]
+    fn r3_fires_in_lib_context_and_spares_unwrap_or() {
+        let ds = lint_lib("fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert_eq!(rules_of(&ds), vec![Rule::R3]);
+        let ds = lint_lib("fn f(x: Option<u8>) -> u8 { x.expect(\"boom\") }\n");
+        assert_eq!(rules_of(&ds), vec![Rule::R3]);
+        assert!(lint_lib("fn f(x: Option<u8>) -> u8 { x.unwrap_or(3) }\n").is_empty());
+        // Non-library crates may unwrap.
+        let class = FileClass::from_path("crates/cli/src/lib.rs");
+        let (ds, _) = lint_source("t.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap() }", &class);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn r4_fires_on_nondeterminism_sources() {
+        let ds = lint_lib("use std::time::SystemTime;\n");
+        assert_eq!(rules_of(&ds), vec![Rule::R4]);
+        let ds = lint_lib("fn f() { let v = std::env::var(\"X\"); }\n");
+        assert_eq!(rules_of(&ds), vec![Rule::R4]);
+        let ds = lint_lib("fn f() { let t = std::thread::current(); }\n");
+        assert_eq!(rules_of(&ds), vec![Rule::R4]);
+        // thread::spawn is fine; bench crates are exempt.
+        assert!(lint_lib("fn f() { std::thread::spawn(|| {}); }\n").is_empty());
+        let class = FileClass::from_path("crates/bench/src/lib.rs");
+        let (ds, _) = lint_source("t.rs", "fn f() { std::env::var(\"X\"); }", &class);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn r5_fires_even_in_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn f() { unsafe { } }\n}\n";
+        let ds = lint_lib(src);
+        assert_eq!(rules_of(&ds), vec![Rule::R5]);
+    }
+
+    #[test]
+    fn cfg_test_exempts_r1_to_r4() {
+        let src = "#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n  \
+                   fn f(x: Option<u8>) { x.unwrap(); }\n}\n";
+        assert!(lint_lib(src).is_empty());
+        // #[test] functions too.
+        let src = "#[test]\nfn t() { let x: Option<u8> = None; x.unwrap(); }\n";
+        assert!(lint_lib(src).is_empty());
+        // ... but code after the gated item is checked again.
+        let src = "#[test]\nfn t() { }\nfn prod(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(rules_of(&lint_lib(src)), vec![Rule::R3]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))]\nfn prod(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(rules_of(&lint_lib(src)), vec![Rule::R3]);
+    }
+
+    #[test]
+    fn suppression_silences_and_is_audited() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    \
+                   // rsm-lint: allow(R3) — demo justification\n    x.unwrap()\n}\n";
+        let (ds, used) = lint_source("t.rs", src, &FileClass::lib_context());
+        assert!(ds.is_empty(), "{ds:?}");
+        assert_eq!(used, 1);
+        // Same-line suppression.
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // rsm-lint: allow(R3) — demo\n";
+        let (ds, _) = lint_source("t.rs", src, &FileClass::lib_context());
+        assert!(ds.is_empty(), "{ds:?}");
+        // Unreasoned suppression: S0 and the original R3 both fire.
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // rsm-lint: allow(R3)\n";
+        let (ds, _) = lint_source("t.rs", src, &FileClass::lib_context());
+        let mut rs = rules_of(&ds);
+        rs.sort();
+        assert_eq!(rs, vec![Rule::R3, Rule::S0]);
+        // Stale suppression: S1.
+        let src = "// rsm-lint: allow(R5) — nothing unsafe below\nfn f() {}\n";
+        let (ds, _) = lint_source("t.rs", src, &FileClass::lib_context());
+        assert_eq!(rules_of(&ds), vec![Rule::S1]);
+    }
+
+    #[test]
+    fn test_file_class_exempts_r1_to_r4_but_not_r5() {
+        let class = FileClass::from_path("crates/core/tests/properties.rs");
+        assert!(class.is_test_file);
+        let (ds, _) = lint_source(
+            "t.rs",
+            "use std::collections::HashMap;\nfn f() { unsafe {} }\n",
+            &class,
+        );
+        assert_eq!(rules_of(&ds), vec![Rule::R5]);
+    }
+}

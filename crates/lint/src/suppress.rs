@@ -1,0 +1,228 @@
+//! Parsing and bookkeeping for inline suppression directives.
+//!
+//! Syntax (inside any `//` or `/* */` comment):
+//!
+//! ```text
+//! // rsm-lint: allow(R3) — reason the violation is acceptable
+//! // rsm-lint: allow(R1, R4) - multiple rules, ASCII dash works too
+//! ```
+//!
+//! A directive suppresses matching diagnostics on **its own line and
+//! the line directly below it** (so it can sit at the end of the
+//! offending line or on its own line above). The reason text after the
+//! dash is mandatory: an allow without a reason is itself reported
+//! (rule S0), and an allow that never matches anything is reported as
+//! stale (rule S1). That keeps every exemption auditable.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed `allow(...)` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Rules this directive allows.
+    pub rules: Vec<Rule>,
+    /// Whether any diagnostic was actually suppressed by it.
+    pub used: bool,
+}
+
+/// Directives found in a file, plus S0 diagnostics for malformed ones.
+#[derive(Debug, Default)]
+pub struct SuppressionSet {
+    /// Well-formed directives.
+    pub entries: Vec<Suppression>,
+    /// Malformed-directive findings (missing reason, unknown rule).
+    pub malformed: Vec<(u32, String)>,
+}
+
+impl SuppressionSet {
+    /// Scans comment tokens for `rsm-lint:` directives.
+    pub fn collect(tokens: &[Token]) -> SuppressionSet {
+        let mut set = SuppressionSet::default();
+        for t in tokens {
+            let TokenKind::Comment(text) = &t.kind else {
+                continue;
+            };
+            // Doc comments are documentation, not directives: only
+            // plain `//`/`/* */` comments can carry an allow. This
+            // also lets rustdoc talk *about* the syntax freely.
+            if text.starts_with("///")
+                || text.starts_with("//!")
+                || text.starts_with("/**")
+                || text.starts_with("/*!")
+            {
+                continue;
+            }
+            let Some(at) = text.find("rsm-lint:") else {
+                continue;
+            };
+            let rest = text[at + "rsm-lint:".len()..].trim_start();
+            let Some(args) = rest.strip_prefix("allow") else {
+                set.malformed
+                    .push((t.line, format!("unrecognized rsm-lint directive: '{rest}'")));
+                continue;
+            };
+            let args = args.trim_start();
+            let (inner, tail) = match args.strip_prefix('(').and_then(|a| a.split_once(')')) {
+                Some(pair) => pair,
+                None => {
+                    set.malformed
+                        .push((t.line, "allow directive needs a (R#, ...) rule list".into()));
+                    continue;
+                }
+            };
+            let mut rules = Vec::new();
+            let mut bad = None;
+            for part in inner.split(',') {
+                let id = part.trim();
+                match Rule::parse(id) {
+                    Some(r) => rules.push(r),
+                    None => bad = Some(id.to_string()),
+                }
+            }
+            if let Some(id) = bad {
+                set.malformed
+                    .push((t.line, format!("unknown rule id '{id}' in allow directive")));
+                continue;
+            }
+            if rules.is_empty() {
+                set.malformed
+                    .push((t.line, "allow directive lists no rules".into()));
+                continue;
+            }
+            // The reason is whatever follows the closing paren, minus
+            // leading dash/em-dash/colon punctuation.
+            let reason = tail
+                .trim_start()
+                .trim_start_matches(['—', '-', ':', '–'])
+                .trim();
+            if reason.is_empty() {
+                set.malformed.push((
+                    t.line,
+                    format!(
+                        "allow({}) has no reason; write `rsm-lint: allow({}) — <why>`",
+                        ids(&rules),
+                        ids(&rules)
+                    ),
+                ));
+                continue;
+            }
+            set.entries.push(Suppression {
+                line: t.line,
+                rules,
+                used: false,
+            });
+        }
+        set
+    }
+
+    /// Returns true (and marks the directive used) if `rule` at `line`
+    /// is covered by a directive on the same or the preceding line.
+    pub fn matches(&mut self, rule: Rule, line: u32) -> bool {
+        let mut hit = false;
+        for s in &mut self.entries {
+            if s.rules.contains(&rule) && (s.line == line || s.line + 1 == line) {
+                s.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Emits S0 (malformed) and S1 (stale) findings for this file.
+    pub fn audit(&self, file: &str, out: &mut Vec<Diagnostic>) {
+        for (line, msg) in &self.malformed {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: *line,
+                rule: Rule::S0,
+                message: msg.clone(),
+            });
+        }
+        for s in &self.entries {
+            if !s.used {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: s.line,
+                    rule: Rule::S1,
+                    message: format!(
+                        "allow({}) suppressed nothing; delete the stale directive",
+                        ids(&s.rules)
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Number of directives that suppressed at least one diagnostic.
+    pub fn used_count(&self) -> usize {
+        self.entries.iter().filter(|s| s.used).count()
+    }
+}
+
+fn ids(rules: &[Rule]) -> String {
+    rules.iter().map(|r| r.id()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_reasoned_allow() {
+        let toks = lex("// rsm-lint: allow(R3) — lock poisoning is unrecoverable here\nx");
+        let set = SuppressionSet::collect(&toks);
+        assert_eq!(set.entries.len(), 1);
+        assert!(set.malformed.is_empty());
+        assert_eq!(set.entries[0].rules, vec![Rule::R3]);
+    }
+
+    #[test]
+    fn multi_rule_and_ascii_dash() {
+        let toks = lex("// rsm-lint: allow(R1, R4) - both fine here because reasons\n");
+        let set = SuppressionSet::collect(&toks);
+        assert_eq!(set.entries[0].rules, vec![Rule::R1, Rule::R4]);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let toks = lex("// rsm-lint: allow(R2)\n// rsm-lint: allow(R2) —   \n");
+        let set = SuppressionSet::collect(&toks);
+        assert!(set.entries.is_empty());
+        assert_eq!(set.malformed.len(), 2);
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let toks = lex("// rsm-lint: allow(R9) — no such rule\n");
+        let set = SuppressionSet::collect(&toks);
+        assert!(set.entries.is_empty());
+        assert_eq!(set.malformed.len(), 1);
+        // S0/S1 are not addressable from allow().
+        let toks = lex("// rsm-lint: allow(S1) — nice try\n");
+        assert_eq!(SuppressionSet::collect(&toks).malformed.len(), 1);
+    }
+
+    #[test]
+    fn doc_comments_are_not_directives() {
+        let toks = lex(
+            "/// rsm-lint: allow(R3) — doc example, not a directive\n//! rsm-lint: allow(R9)\nx",
+        );
+        let set = SuppressionSet::collect(&toks);
+        assert!(set.entries.is_empty());
+        assert!(set.malformed.is_empty());
+    }
+
+    #[test]
+    fn window_covers_same_and_next_line() {
+        let toks = lex("// rsm-lint: allow(R5) — demo\nx\ny");
+        let mut set = SuppressionSet::collect(&toks);
+        assert!(set.matches(Rule::R5, 1));
+        assert!(set.matches(Rule::R5, 2));
+        assert!(!set.matches(Rule::R5, 3));
+        assert!(!set.matches(Rule::R3, 2));
+    }
+}

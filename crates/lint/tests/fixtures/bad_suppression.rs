@@ -1,0 +1,10 @@
+// Fixture: malformed and stale suppressions are themselves diagnosed.
+pub fn f(x: Option<u8>) -> u8 {
+    // rsm-lint: allow(R3)
+    x.unwrap() // S0 (no reason) and the R3 both fire
+}
+
+// rsm-lint: allow(R5) — nothing unsafe below, so this is stale (S1)
+pub fn g() -> u8 {
+    7
+}

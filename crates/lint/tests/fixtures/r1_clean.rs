@@ -1,0 +1,14 @@
+// Fixture: R1 negative — ordered collections are fine.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn collect(names: &[String]) -> BTreeMap<String, usize> {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut out = BTreeMap::new();
+    for (i, n) in names.iter().enumerate() {
+        if seen.insert(n) {
+            out.insert(n.clone(), i);
+        }
+    }
+    out
+}

@@ -1,0 +1,14 @@
+// Fixture: R1 positive — unordered maps in production code.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn collect(names: &[String]) -> HashMap<String, usize> {
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut out = HashMap::new();
+    for (i, n) in names.iter().enumerate() {
+        if seen.insert(n) {
+            out.insert(n.clone(), i);
+        }
+    }
+    out
+}

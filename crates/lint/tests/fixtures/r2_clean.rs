@@ -1,0 +1,6 @@
+// Fixture: R2 negative — comparisons routed through the tol helpers.
+use rsm_linalg::tol;
+
+pub fn checks(x: f64) -> bool {
+    tol::exactly_zero(x) || tol::exactly_eq(x, 1.0) || tol::near_zero(x, tol::DEFAULT_ABS_TOL)
+}

@@ -1,0 +1,10 @@
+// Fixture: R2 positive — exact float comparisons against literals.
+pub fn checks(x: f64, n: usize) -> bool {
+    let a = x == 0.0; // flagged
+    let b = 1.0 != x; // flagged
+    let c = x == 1e-12; // flagged
+    // Negatives: integer equality and float inequalities are fine.
+    let d = n == 0;
+    let e = x < 0.5;
+    a || b || c || d || e
+}

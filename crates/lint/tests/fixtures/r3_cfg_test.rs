@@ -1,0 +1,21 @@
+// Fixture: R3 negative — unwrap is fine inside test-gated code.
+pub fn prod(x: f64) -> f64 {
+    x + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_allowed_here() {
+        let v: Option<f64> = Some(1.0);
+        assert!(prod(v.unwrap()) > v.expect("some") );
+    }
+}
+
+#[test]
+fn bare_test_fn_is_also_exempt() {
+    let v: Option<u8> = Some(1);
+    let _ = v.unwrap();
+}

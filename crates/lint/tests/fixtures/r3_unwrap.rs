@@ -1,0 +1,9 @@
+// Fixture: R3 positive — panicking extractors in library code.
+pub fn first(xs: &[f64]) -> f64 {
+    let a = xs.first().unwrap(); // flagged
+    let b = xs.last().expect("nonempty"); // flagged
+    // Negatives: non-panicking variants.
+    let c = xs.first().copied().unwrap_or(0.0);
+    let d = xs.last().copied().unwrap_or_else(|| 0.0);
+    a + b + c + d
+}

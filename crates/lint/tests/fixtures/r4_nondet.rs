@@ -1,0 +1,8 @@
+// Fixture: R4 positive — nondeterminism sources in production code.
+use std::time::SystemTime; // flagged
+
+pub fn stamp() -> u64 {
+    let _tid = std::thread::current().id(); // flagged
+    let _cfg = std::env::var("SOME_KNOB"); // flagged
+    0
+}

@@ -1,0 +1,13 @@
+// Fixture: R5 positive — unsafe is banned everywhere, even in tests.
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) } // flagged
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn also_flagged_in_test_code() {
+        let x = [1u8];
+        let _ = unsafe { *x.as_ptr() }; // flagged
+    }
+}

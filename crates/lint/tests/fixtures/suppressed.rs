@@ -1,0 +1,12 @@
+// Fixture: every violation carries a reasoned allow — file is clean.
+// rsm-lint: allow(R1) — fixture demonstrates a justified unordered map
+use std::collections::HashMap;
+
+pub fn lookup_only(m: &HashMap<String, usize>, k: &str) -> Option<usize> { // rsm-lint: allow(R1) — lookup-only map, never iterated
+    m.get(k).copied()
+}
+
+pub fn sentinel(x: f64) -> bool {
+    // rsm-lint: allow(R2, R3) — multi-rule directive: exact sentinel plus checked invariant
+    x == 0.0 && Some(1u8).unwrap() == 1
+}

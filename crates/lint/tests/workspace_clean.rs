@@ -1,0 +1,107 @@
+//! The gate this crate exists for: the workspace itself must be clean
+//! under the shipped rule set, with every suppression reasoned.
+
+use rsm_lint::{find_workspace_root, lint_workspace};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(&manifest).expect("enclosing workspace")
+}
+
+#[test]
+fn workspace_is_clean_under_the_shipped_rules() {
+    let report = lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "rsm-lint found {} diagnostic(s):\n{}",
+        report.diagnostics.len(),
+        report.render()
+    );
+    // The scan actually covered the tree (96 files at the time this
+    // gate was introduced) and honored the audited suppressions.
+    assert!(
+        report.files_scanned >= 90,
+        "only {} files scanned — walker regression?",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressions_used >= 10,
+        "only {} suppressions honored — suppression parsing regression?",
+        report.suppressions_used
+    );
+}
+
+#[test]
+fn check_binary_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_rsm-lint");
+    let root = workspace_root();
+    // Clean workspace: exit 0.
+    let ok = std::process::Command::new(bin)
+        .arg("check")
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    // Injected violation (a fixture file): exit code 1.
+    let dirty = std::process::Command::new(bin)
+        .arg("check")
+        .arg(root.join("crates/lint/tests/fixtures/r5_unsafe.rs"))
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert_eq!(dirty.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&dirty.stdout).contains("[R5]"));
+
+    // Usage error: exit code 2.
+    let usage = std::process::Command::new(bin)
+        .arg("frobnicate")
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert_eq!(usage.status.code(), Some(2));
+
+    // --json emits the machine-readable report on stdout.
+    let json = std::process::Command::new(bin)
+        .args(["check", "--json"])
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert!(json.status.success());
+    let text = String::from_utf8_lossy(&json.stdout);
+    assert!(text.contains("\"clean\": true"), "{text}");
+
+    // --out writes the JSON artifact (as used by the CI lint job).
+    let dir = std::env::temp_dir().join("rsm_lint_test_artifact");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let artifact = dir.join("rsm-lint.json");
+    let out = std::process::Command::new(bin)
+        .args(["check", "--out"])
+        .arg(&artifact)
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&artifact).expect("artifact written");
+    assert!(written.contains("\"version\": 1"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rules_subcommand_documents_every_rule() {
+    let bin = env!("CARGO_BIN_EXE_rsm-lint");
+    let out = std::process::Command::new(bin)
+        .arg("rules")
+        .output()
+        .expect("spawn rsm-lint");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for id in ["R1", "R2", "R3", "R4", "R5", "S0", "S1"] {
+        assert!(text.contains(id), "rules output lacks {id}: {text}");
+    }
+}

@@ -103,8 +103,8 @@ pub fn peak_magnitude(sweep: &AcSweep, node: NodeId) -> Result<(f64, f64)> {
     let (k, _) = mag
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite magnitudes"))
-        .expect("nonempty");
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .ok_or_else(|| SpiceError::MeasureFailed("empty AC sweep".into()))?;
     if k == 0 || k + 1 == mag.len() {
         return Err(SpiceError::MeasureFailed(
             "response peaks at the sweep edge; widen the sweep".into(),
@@ -144,8 +144,8 @@ pub fn bandwidth_3db_around_peak(sweep: &AcSweep, node: NodeId) -> Result<f64> {
     let (k, _) = mag
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite magnitudes"))
-        .expect("nonempty");
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .ok_or_else(|| SpiceError::MeasureFailed("empty AC sweep".into()))?;
     let target = mag[k] * std::f64::consts::FRAC_1_SQRT_2;
     let interp = |i0: usize, i1: usize| -> f64 {
         let (m0, m1) = (mag[i0], mag[i1]);

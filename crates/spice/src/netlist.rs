@@ -2,7 +2,7 @@
 
 use crate::mosfet::MosParams;
 use crate::{Result, SpiceError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A circuit node. [`Circuit::GROUND`] is the reference node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -151,7 +151,7 @@ pub(crate) fn diode_eval(p: &DiodeParams, vd: f64) -> (f64, f64) {
 #[derive(Debug, Clone, Default)]
 pub struct Circuit {
     names: Vec<String>,
-    by_name: HashMap<String, NodeId>,
+    by_name: BTreeMap<String, NodeId>,
     pub(crate) resistors: Vec<Resistor>,
     pub(crate) capacitors: Vec<Capacitor>,
     pub(crate) inductors: Vec<Inductor>,

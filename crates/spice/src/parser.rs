@@ -28,7 +28,7 @@
 use crate::mosfet::{MosParams, MosType};
 use crate::netlist::{Circuit, InductorId, MosId, NodeId, VsourceId};
 use crate::{Result, SpiceError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A parsed netlist: the circuit and name→id lookup tables.
 #[derive(Debug, Clone)]
@@ -36,13 +36,13 @@ pub struct ParsedCircuit {
     /// The assembled circuit.
     pub circuit: Circuit,
     /// Voltage sources by netlist name (upper-cased).
-    pub vsources: HashMap<String, VsourceId>,
+    pub vsources: BTreeMap<String, VsourceId>,
     /// MOSFETs by netlist name (upper-cased).
-    pub mosfets: HashMap<String, MosId>,
+    pub mosfets: BTreeMap<String, MosId>,
     /// Inductors by netlist name (upper-cased).
-    pub inductors: HashMap<String, InductorId>,
+    pub inductors: BTreeMap<String, InductorId>,
     /// Nodes by netlist name (as written, ground under `"0"`).
-    pub nodes: HashMap<String, NodeId>,
+    pub nodes: BTreeMap<String, NodeId>,
 }
 
 impl ParsedCircuit {
@@ -101,14 +101,14 @@ pub fn parse_value(tok: &str) -> Result<f64> {
 /// any syntax error, duplicate element name, or unsupported card.
 pub fn parse(netlist: &str) -> Result<ParsedCircuit> {
     let mut circuit = Circuit::new();
-    let mut nodes: HashMap<String, NodeId> = HashMap::new();
+    let mut nodes: BTreeMap<String, NodeId> = BTreeMap::new();
     nodes.insert("0".to_string(), Circuit::GROUND);
-    let mut vsources = HashMap::new();
-    let mut mosfets = HashMap::new();
-    let mut inductors = HashMap::new();
-    let mut seen_names: HashMap<String, usize> = HashMap::new();
+    let mut vsources = BTreeMap::new();
+    let mut mosfets = BTreeMap::new();
+    let mut inductors = BTreeMap::new();
+    let mut seen_names: BTreeMap<String, usize> = BTreeMap::new();
 
-    let intern = |name: &str, circuit: &mut Circuit, nodes: &mut HashMap<String, NodeId>| {
+    let intern = |name: &str, circuit: &mut Circuit, nodes: &mut BTreeMap<String, NodeId>| {
         let key = if name.eq_ignore_ascii_case("gnd") {
             "0"
         } else {
@@ -140,6 +140,7 @@ pub fn parse(netlist: &str) -> Result<ParsedCircuit> {
         if seen_names.insert(name.clone(), lineno).is_some() {
             return Err(err(format!("duplicate element name '{name}'")));
         }
+        // rsm-lint: allow(R3) — split_whitespace never yields empty tokens
         let kind = name.chars().next().expect("nonempty token");
         match kind {
             'R' | 'C' | 'L' => {

@@ -9,6 +9,7 @@ use crate::dc::{assemble, DcAnalysis, OperatingPoint};
 use crate::netlist::{Circuit, NodeId, VsourceId};
 use crate::{Result, SpiceError};
 use rsm_linalg::lu::LuDecomposition;
+use rsm_linalg::tol;
 
 /// A time-varying voltage-source waveform.
 #[derive(Debug, Clone)]
@@ -63,7 +64,7 @@ impl Waveform {
                         return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
                     }
                 }
-                points.last().unwrap().1
+                points.last().map_or(0.0, |p| p.1)
             }
         }
     }
@@ -326,7 +327,7 @@ impl TranAnalysis {
         for _ in 0..self.max_iter {
             let (mut a, mut b) = assemble(ckt, x, self.gmin, 1.0);
             for cap in caps {
-                if cap.farads == 0.0 {
+                if tol::exactly_zero(cap.farads) {
                     continue;
                 }
                 let geq = if trap {

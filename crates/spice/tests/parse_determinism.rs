@@ -1,0 +1,47 @@
+//! Regression test for the netlist-side R1 fix: name→id tables in the
+//! parser and `Circuit` are BTreeMaps, so iteration order — and anything
+//! serialized or reported from it — is the same on every run.
+
+use rsm_spice::parser;
+
+const NETLIST: &str = "\
+* RC ladder with a source — node names deliberately non-alphabetical
+V1 zeta 0 DC 1.0 AC 1.0
+R1 zeta mid 1k
+R2 mid alpha 2.2k
+C1 alpha 0 1u
+C2 mid 0 10n
+L1 alpha out 1m
+R3 out 0 470
+.end
+";
+
+#[test]
+fn repeated_parses_agree_exactly() {
+    let a = parser::parse(NETLIST).expect("parse");
+    let b = parser::parse(NETLIST).expect("parse");
+
+    let keys = |p: &parser::ParsedCircuit| {
+        (
+            p.nodes.keys().cloned().collect::<Vec<_>>(),
+            p.vsources.keys().cloned().collect::<Vec<_>>(),
+            p.inductors.keys().cloned().collect::<Vec<_>>(),
+            p.nodes.values().map(|n| n.index()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(keys(&a), keys(&b));
+    assert_eq!(a.circuit.num_nodes(), b.circuit.num_nodes());
+
+    // Iteration over node names is sorted — the property the BTreeMap
+    // migration bought us (a HashMap would make this order arbitrary).
+    let names: Vec<&String> = a.nodes.keys().collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+
+    // And node ids agree between the two parses for every name, so
+    // downstream MNA stamping sees identical indices.
+    for (name, id) in &a.nodes {
+        assert_eq!(b.nodes[name].index(), id.index(), "node {name}");
+    }
+}

@@ -1,5 +1,7 @@
 //! Descriptive statistics for performance-distribution reporting.
 
+use rsm_linalg::tol;
+
 /// Arithmetic mean (`0.0` for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -27,7 +29,7 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// Sample skewness (third standardized moment); `0.0` if degenerate.
 pub fn skewness(xs: &[f64]) -> f64 {
     let s = std_dev(xs);
-    if s == 0.0 || xs.is_empty() {
+    if tol::exactly_zero(s) || xs.is_empty() {
         return 0.0;
     }
     let m = mean(xs);
@@ -38,7 +40,7 @@ pub fn skewness(xs: &[f64]) -> f64 {
 /// degenerate.
 pub fn excess_kurtosis(xs: &[f64]) -> f64 {
     let s = std_dev(xs);
-    if s == 0.0 || xs.is_empty() {
+    if tol::exactly_zero(s) || xs.is_empty() {
         return 0.0;
     }
     let m = mean(xs);
@@ -53,7 +55,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let q = q.clamp(0.0, 1.0);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -143,7 +145,7 @@ impl Histogram {
 pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
     assert_eq!(xs.len(), ys.len(), "correlation: length mismatch");
     let (sx, sy) = (std_dev(xs), std_dev(ys));
-    if sx == 0.0 || sy == 0.0 || xs.is_empty() {
+    if tol::exactly_zero(sx) || tol::exactly_zero(sy) || xs.is_empty() {
         return 0.0;
     }
     let (mx, my) = (mean(xs), mean(ys));

@@ -26,8 +26,8 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
     assert!(!a.is_empty() && !b.is_empty(), "KS test needs data");
     let mut xa = a.to_vec();
     let mut xb = b.to_vec();
-    xa.sort_by(|p, q| p.partial_cmp(q).expect("finite samples"));
-    xb.sort_by(|p, q| p.partial_cmp(q).expect("finite samples"));
+    xa.sort_by(|p, q| p.total_cmp(q));
+    xb.sort_by(|p, q| p.total_cmp(q));
     let (na, nb) = (xa.len(), xb.len());
     let mut i = 0usize;
     let mut j = 0usize;

@@ -10,6 +10,7 @@
 //! |relative error| < 1.2e-9).
 
 use crate::rng::NormalSampler;
+use rsm_linalg::tol;
 use rsm_linalg::Matrix;
 
 /// Inverse CDF (quantile function) of the standard normal
@@ -22,10 +23,10 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
     if p.is_nan() || !(0.0..=1.0).contains(&p) {
         return f64::NAN;
     }
-    if p == 0.0 {
+    if tol::exactly_zero(p) {
         return f64::NEG_INFINITY;
     }
-    if p == 1.0 {
+    if tol::exactly_eq(p, 1.0) {
         return f64::INFINITY;
     }
     // Acklam's coefficients.

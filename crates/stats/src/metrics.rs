@@ -8,6 +8,7 @@
 //! predicting only the mean scores 100%.
 
 use crate::describe;
+use rsm_linalg::tol;
 
 /// Relative root-mean-square error against the variation magnitude:
 ///
@@ -29,8 +30,8 @@ pub fn relative_error(pred: &[f64], truth: &[f64]) -> f64 {
         num += (p - t) * (p - t);
         den += (t - m) * (t - m);
     }
-    if den == 0.0 {
-        if num == 0.0 {
+    if tol::exactly_zero(den) {
+        if tol::exactly_zero(num) {
             0.0
         } else {
             f64::INFINITY
@@ -94,7 +95,7 @@ pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
     let mut s = 0.0;
     let mut n = 0usize;
     for (p, t) in pred.iter().zip(truth) {
-        if *t != 0.0 {
+        if !tol::exactly_zero(*t) {
             s += ((p - t) / t).abs();
             n += 1;
         }

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 
 /// Identifies a benchmark within a group: a function name, an input
 /// parameter, or both.
+#[derive(Debug)]
 pub struct BenchmarkId {
     label: String,
 }
@@ -64,6 +65,7 @@ pub enum BatchSize {
 }
 
 /// Top-level benchmark driver (stub of `criterion::Criterion`).
+#[derive(Debug)]
 pub struct Criterion {
     full: bool,
 }
@@ -99,6 +101,7 @@ impl Criterion {
 
 /// A named set of benchmarks sharing a prefix (stub of
 /// `criterion::BenchmarkGroup`).
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
@@ -172,6 +175,7 @@ fn fmt_time(secs: f64) -> String {
 }
 
 /// Per-benchmark timing context handed to the bench closure.
+#[derive(Debug)]
 pub struct Bencher {
     full: bool,
     total: Duration,

@@ -39,6 +39,7 @@ pub mod strategy {
     }
 
     /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug)]
     pub struct Map<S, F> {
         inner: S,
         f: F,
@@ -233,6 +234,7 @@ pub mod collection {
     }
 
     /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug)]
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
