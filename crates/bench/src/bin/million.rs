@@ -2,24 +2,59 @@
 //! `M ≈ 10⁶` model coefficients from `K = 10³` sampling points.
 //!
 //! A materialized design matrix would be `1000 × 1 000 405` ≈ 8 GB, so
-//! this experiment exercises the streaming path: OMP against a
-//! [`DictionarySource`] that evaluates the quadratic Hermite dictionary
-//! on the fly (`O(K·N)` memory instead of `O(K·M)`).
+//! this experiment exercises the streaming path end to end: OMP, LAR,
+//! and cross-validated LAR all run against a [`DictionarySource`] that
+//! evaluates the quadratic Hermite dictionary on the fly (`O(K·N)`
+//! memory instead of `O(K·M)`). CV folds are source-level row views —
+//! nothing `K×M`-sized exists at any point, which the recorded
+//! peak-RSS numbers verify.
 //!
 //! Ground truth: a 20-term sparse quadratic with noise. Success =
 //! exact support recovery + small relative error, at a fitting cost of
 //! minutes on one core.
 //!
-//! Run: `cargo run --release -p rsm-bench --bin million [-- --quick]`
+//! Run: `cargo run --release -p rsm-bench --bin million [-- --quick | -- --smoke]`
+//!
+//! Modes:
+//! - (default) full size: `M ≈ 10⁶`, `K = 1000`, OMP + LAR + CV(LAR);
+//! - `--quick`: `M ≈ 10⁵`, `K = 500`, same methods, smaller CV grid;
+//! - `--smoke`: `M ≈ 10⁵`, `K = 500`, OMP + LAR only, and the process
+//!   exits nonzero unless both methods recover the planted support —
+//!   the CI gate for the streaming path.
+//!
+//! Per-method records (method, M, K, threads, fit seconds, peak-RSS
+//! estimate, errors) are written to `results/BENCH_sources.json`; the
+//! OMP record additionally keeps its historical shape in
+//! `results/million.json`.
 
 use rsm_basis::{Dictionary, DictionaryKind};
-use rsm_bench::{save_json, timed, RunOptions};
+use rsm_bench::{peak_rss_mb, save_json, timed, RunOptions};
+use rsm_core::lar::LarConfig;
+use rsm_core::ls::LsConfig;
 use rsm_core::omp::OmpConfig;
+use rsm_core::select::CvConfig;
 use rsm_core::source::{AtomSource, DictionarySource};
+use rsm_core::{solver, Method, ModelOrder, SparseModel};
 use rsm_linalg::Matrix;
 use rsm_stats::metrics::relative_error;
 use rsm_stats::NormalSampler;
 use serde::Serialize;
+
+/// OLS refit on a selected support (the paper's final step: LAR picks
+/// the atoms, least squares re-estimates their coefficients). The
+/// gathered sub-matrix is `K × |support|` — tiny, so this never
+/// re-materializes the design matrix.
+fn debias<S: AtomSource + ?Sized>(g: &S, f: &[f64], support: &[usize]) -> SparseModel {
+    let mut cols = Matrix::zeros(g.num_rows(), support.len());
+    g.columns_into(support, &mut cols);
+    let local = LsConfig.fit(&cols, f).expect("debias LS is overdetermined");
+    let coeffs: Vec<(usize, f64)> = local
+        .coefficients()
+        .iter()
+        .map(|&(i, c)| (support[i], c))
+        .collect();
+    SparseModel::new(g.num_atoms(), coeffs)
+}
 
 #[derive(Serialize)]
 struct MillionRecord {
@@ -34,22 +69,58 @@ struct MillionRecord {
     fit_seconds: f64,
 }
 
-fn main() {
-    let opts = RunOptions::from_args();
-    // N chosen so the quadratic dictionary crosses 10⁶ terms.
-    let n = opts.pick(1413, 446);
-    let k = opts.pick(1000, 500);
-    let k_test = opts.pick(1000, 400);
-    let p = 20; // true sparsity
+/// One `BENCH_sources.json` entry: a method fit through the streaming
+/// source, with its cost and memory footprint.
+#[derive(Serialize)]
+struct SourceBenchRecord {
+    method: String,
+    m: usize,
+    k: usize,
+    threads: usize,
+    fit_seconds: f64,
+    /// `VmHWM` of the process in MB after this fit — cumulative over
+    /// the run, so it upper-bounds the streaming footprint.
+    peak_rss_mb: Option<f64>,
+    train_error: f64,
+    test_error: f64,
+    support_recovered_exactly: bool,
+    /// Model order the errors are reported at.
+    lambda: usize,
+    /// Cross-validated choice of λ, when the method ran under CV.
+    cv_best_lambda: Option<usize>,
+}
+
+struct Problem {
+    dict: Dictionary,
+    samples: Matrix,
+    test_samples: Matrix,
+    truth: Vec<(usize, f64)>,
+    f: Vec<f64>,
+    f_test: Vec<f64>,
+}
+
+impl Problem {
+    fn expected_support(&self) -> Vec<usize> {
+        self.truth.iter().map(|&(j, _)| j).collect()
+    }
+
+    fn score(&self, model: &SparseModel) -> (f64, f64, bool) {
+        let pred_train: Vec<f64> = (0..self.samples.rows())
+            .map(|r| model.predict_point(&self.dict, self.samples.row(r)))
+            .collect();
+        let pred_test: Vec<f64> = (0..self.test_samples.rows())
+            .map(|r| model.predict_point(&self.dict, self.test_samples.row(r)))
+            .collect();
+        let train_error = relative_error(&pred_train, &self.f);
+        let test_error = relative_error(&pred_test, &self.f_test);
+        let exact = model.support() == self.expected_support();
+        (train_error, test_error, exact)
+    }
+}
+
+fn build_problem(n: usize, k: usize, k_test: usize, p: usize) -> Problem {
     let dict = Dictionary::new(n, DictionaryKind::Quadratic);
     let m = dict.len();
-    println!("streaming OMP: N = {n} variables, M = {m} quadratic coefficients, K = {k} samples");
-    println!(
-        "(materialized G would be {:.1} GB; the streaming source holds {:.1} MB)",
-        (k * m * 8) as f64 / 1e9,
-        (k * n * 8) as f64 / 1e6
-    );
-
     let mut rng = NormalSampler::seed_from_u64(2009);
     let samples = Matrix::from_fn(k, n, |_, _| rng.sample());
     let test_samples = Matrix::from_fn(k_test, n, |_, _| rng.sample());
@@ -71,7 +142,7 @@ fn main() {
     truth.sort_by_key(|&(j, _)| j);
     truth.dedup_by_key(|&mut (j, _)| j);
 
-    let eval_truth = |pts: &Matrix, rng: &mut NormalSampler, noise: f64| -> Vec<f64> {
+    let mut eval_truth = |pts: &Matrix, noise: f64| -> Vec<f64> {
         (0..pts.rows())
             .map(|r| {
                 truth
@@ -82,63 +153,172 @@ fn main() {
             })
             .collect()
     };
-    let f = eval_truth(&samples, &mut rng, 0.05);
-    let f_test = eval_truth(&test_samples, &mut rng, 0.0);
-
-    let src = DictionarySource::new(&dict, &samples);
-    let lambda = truth.len() + 5;
-    println!("running OMP to λ = {lambda} …");
-    let (path, secs) = timed(|| OmpConfig::new(lambda).fit_source(&src, &f).unwrap());
-    let model = path.model_at(truth.len());
-    println!(
-        "fit took {secs:.1}s ({:.1}s per selection step)",
-        secs / path.len() as f64
-    );
-
-    let expected: Vec<usize> = truth.iter().map(|&(j, _)| j).collect();
-    let recovered = model.support();
-    let exact = recovered == expected;
-    println!(
-        "support recovery at λ = {}: {}",
-        truth.len(),
-        if exact { "EXACT" } else { "partial" }
-    );
-    if !exact {
-        let hits = recovered.iter().filter(|j| expected.contains(j)).count();
-        println!("  {hits}/{} true atoms found", expected.len());
+    let f = eval_truth(&samples, 0.05);
+    let f_test = eval_truth(&test_samples, 0.0);
+    Problem {
+        dict,
+        samples,
+        test_samples,
+        truth,
+        f,
+        f_test,
     }
-    let pred_train: Vec<f64> = (0..k)
-        .map(|r| model.predict_point(&dict, samples.row(r)))
-        .collect();
-    let pred_test: Vec<f64> = (0..k_test)
-        .map(|r| model.predict_point(&dict, test_samples.row(r)))
-        .collect();
-    let train_error = relative_error(&pred_train, &f);
-    let test_error = relative_error(&pred_test, &f_test);
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // N chosen so the quadratic dictionary crosses 10⁶ (full) or 10⁵
+    // (quick/smoke) terms.
+    let n = if smoke { 446 } else { opts.pick(1413, 446) };
+    let k = if smoke { 500 } else { opts.pick(1000, 500) };
+    let k_test = if smoke { 200 } else { opts.pick(1000, 400) };
+    let p = 20; // true sparsity
+
+    let prob = build_problem(n, k, k_test, p);
+    let m = prob.dict.len();
+    let src = DictionarySource::new(&prob.dict, &prob.samples);
     println!(
-        "train error {:.2}%, test error {:.2}%",
-        train_error * 100.0,
-        test_error * 100.0
+        "streaming solvers: N = {n} variables, M = {m} quadratic coefficients, K = {k} samples"
     );
     println!(
-        "K/M ratio: {:.5} — {} coefficients per sample, resolved through sparsity",
-        k as f64 / m as f64,
-        m / k
+        "(materialized G would be {:.1} GB; the streaming source holds {:.1} MB)",
+        (k * m * 8) as f64 / 1e9,
+        (k * n * 8) as f64 / 1e6
     );
 
+    let expected = prob.expected_support();
+    let lambda = prob.truth.len() + 5;
+    let threads = opts.threads;
+    let mut records: Vec<SourceBenchRecord> = Vec::new();
+    let mut all_recovered = true;
+
+    // --- OMP -------------------------------------------------------
+    println!("\nrunning OMP to λ = {lambda} …");
+    let (path, omp_secs) = timed(|| OmpConfig::new(lambda).fit_source(&src, &prob.f).unwrap());
+    let omp_model = path.model_at(prob.truth.len());
+    let (omp_train, omp_test, omp_exact) = prob.score(&omp_model);
+    println!(
+        "OMP: {omp_secs:.1}s ({:.1}s per step), support {}, train {:.2}%, test {:.2}%",
+        omp_secs / path.len() as f64,
+        if omp_exact { "EXACT" } else { "partial" },
+        omp_train * 100.0,
+        omp_test * 100.0
+    );
+    all_recovered &= omp_exact;
+    records.push(SourceBenchRecord {
+        method: "OMP".into(),
+        m,
+        k,
+        threads,
+        fit_seconds: omp_secs,
+        peak_rss_mb: peak_rss_mb(),
+        train_error: omp_train,
+        test_error: omp_test,
+        support_recovered_exactly: omp_exact,
+        lambda: prob.truth.len(),
+        cv_best_lambda: None,
+    });
+
+    // Historical single-method record (kept for trajectory continuity).
     let record = MillionRecord {
         num_vars: n,
         dict_size: src.num_atoms(),
         samples: k,
-        true_support: expected,
-        recovered_support: recovered,
-        support_recovered_exactly: exact,
-        train_error,
-        test_error,
-        fit_seconds: secs,
+        true_support: expected.clone(),
+        recovered_support: omp_model.support(),
+        support_recovered_exactly: omp_exact,
+        train_error: omp_train,
+        test_error: omp_test,
+        fit_seconds: omp_secs,
     };
-    match save_json("million", &record) {
-        Ok(p) => eprintln!("\nresults written to {}", p.display()),
-        Err(e) => eprintln!("\nwarning: could not persist results: {e}"),
+    if let Err(e) = save_json("million", &record) {
+        eprintln!("warning: could not persist million.json: {e}");
+    }
+
+    // --- LAR -------------------------------------------------------
+    println!("\nrunning LAR to λ = {lambda} …");
+    let (lar_path, lar_secs) = timed(|| LarConfig::new(lambda).fit_source(&src, &prob.f).unwrap());
+    // Raw LAR coefficients at a mid-path breakpoint are shrunk; report
+    // the debiased fit the paper actually uses.
+    let lar_model = debias(
+        &src,
+        &prob.f,
+        &lar_path.model_at(prob.truth.len()).support(),
+    );
+    let (lar_train, lar_test, lar_exact) = prob.score(&lar_model);
+    println!(
+        "LAR: {lar_secs:.1}s ({:.1}s per step), support {}, train {:.2}%, test {:.2}%",
+        lar_secs / lar_path.len() as f64,
+        if lar_exact { "EXACT" } else { "partial" },
+        lar_train * 100.0,
+        lar_test * 100.0
+    );
+    all_recovered &= lar_exact;
+    records.push(SourceBenchRecord {
+        method: "LAR".into(),
+        m,
+        k,
+        threads,
+        fit_seconds: lar_secs,
+        peak_rss_mb: peak_rss_mb(),
+        train_error: lar_train,
+        test_error: lar_test,
+        support_recovered_exactly: lar_exact,
+        lambda: prob.truth.len(),
+        cv_best_lambda: None,
+    });
+
+    // --- cross-validated LAR (skipped in smoke mode) ---------------
+    if !smoke {
+        let lmax = opts.pick(25, 8).max(p + 5);
+        println!("\nrunning 4-fold cross-validated LAR to λ_max = {lmax} …");
+        let order = ModelOrder::CrossValidated(CvConfig::new(lmax));
+        let (rep, cv_secs) = timed(|| solver::fit(&src, &prob.f, Method::Lar, &order).unwrap());
+        let cv_model = debias(&src, &prob.f, &rep.model.support());
+        let (cv_train, cv_test, cv_exact) = prob.score(&cv_model);
+        let best = rep.cv.as_ref().map(|cv| cv.best_lambda);
+        println!(
+            "CV(LAR): {cv_secs:.1}s, best λ = {}, support {}, train {:.2}%, test {:.2}%",
+            rep.lambda,
+            if cv_exact { "EXACT" } else { "partial" },
+            cv_train * 100.0,
+            cv_test * 100.0
+        );
+        records.push(SourceBenchRecord {
+            method: "LAR+CV".into(),
+            m,
+            k,
+            threads,
+            fit_seconds: cv_secs,
+            peak_rss_mb: peak_rss_mb(),
+            train_error: cv_train,
+            test_error: cv_test,
+            support_recovered_exactly: cv_exact,
+            lambda: rep.lambda,
+            cv_best_lambda: best,
+        });
+    }
+
+    println!(
+        "\nK/M ratio: {:.5} — {} coefficients per sample, resolved through sparsity",
+        k as f64 / m as f64,
+        m / k
+    );
+    if let Some(mb) = peak_rss_mb() {
+        println!(
+            "peak RSS: {mb:.0} MB (dense G would need {:.0} MB)",
+            (k * m * 8) as f64 / 1e6
+        );
+    }
+
+    match save_json("BENCH_sources", &records) {
+        Ok(p) => eprintln!("results written to {}", p.display()),
+        Err(e) => eprintln!("warning: could not persist results: {e}"),
+    }
+
+    if smoke && !all_recovered {
+        eprintln!("SMOKE FAILURE: a streaming solver lost the planted support");
+        std::process::exit(1);
     }
 }

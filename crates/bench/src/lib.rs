@@ -98,6 +98,20 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64())
 }
 
+/// Peak resident-set size of this process in MB, read from
+/// `/proc/self/status` (`VmHWM`, the kernel's high-water mark).
+///
+/// Returns `None` when the file or field is unavailable (non-Linux
+/// platforms). Note the value is cumulative over the process lifetime:
+/// in a multi-experiment binary it bounds the *largest* phase so far,
+/// not the current one.
+pub fn peak_rss_mb() -> Option<f64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with("VmHWM"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
 /// Out-of-sample relative modeling error of a fitted model.
 pub fn test_error(model: &SparseModel, g_test: &Matrix, f_test: &[f64]) -> f64 {
     relative_error(&model.predict_matrix(g_test), f_test)
@@ -356,5 +370,12 @@ mod tests {
         let (v, secs) = timed(|| 42);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if let Some(mb) = peak_rss_mb() {
+            assert!(mb > 0.0, "VmHWM parsed as {mb}");
+        }
     }
 }

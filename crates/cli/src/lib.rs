@@ -14,6 +14,7 @@ pub mod csv;
 
 use rsm_basis::{Dictionary, DictionaryKind};
 use rsm_core::select::CvConfig;
+use rsm_core::source::DictionarySource;
 use rsm_core::{codegen, solver, Method, ModelOrder, SparseModel};
 use rsm_stats::metrics::relative_error;
 use serde::{Deserialize, Serialize};
@@ -62,16 +63,23 @@ struct Options {
     flags: BTreeMap<String, String>,
 }
 
+/// Flags that take no value (presence alone turns them on).
+const BOOL_FLAGS: &[&str] = &["implicit"];
+
 impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
         let mut out = Options::default();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let val = it
-                    .next()
-                    .ok_or_else(|| format!("--{key} requires a value"))?;
-                if out.flags.insert(key.to_string(), val.clone()).is_some() {
+                let val = if BOOL_FLAGS.contains(&key) {
+                    "true".to_string()
+                } else {
+                    it.next()
+                        .ok_or_else(|| format!("--{key} requires a value"))?
+                        .clone()
+                };
+                if out.flags.insert(key.to_string(), val).is_some() {
                     return Err(format!("--{key} given twice"));
                 }
             } else {
@@ -79,6 +87,10 @@ impl Options {
             }
         }
         Ok(out)
+    }
+
+    fn boolean(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     fn required(&self, key: &str) -> Result<&str, String> {
@@ -98,7 +110,7 @@ rsm — sparse response-surface modeling (OMP / LAR / STAR / LS)
 
 USAGE:
   rsm fit --input <samples.csv> --response <column> [--method omp|lar|star|ls]
-          [--basis linear|quadratic] [--lambda-max N] [--lambda N]
+          [--basis linear|quadratic] [--lambda-max N] [--lambda N] [--implicit]
           [--model out.json] [--emit-c out.c] [--emit-veriloga out.va]
   rsm predict --model <model.json> --input <samples.csv> [--output pred.csv]
   rsm info --model <model.json>
@@ -107,6 +119,10 @@ USAGE:
 Every subcommand also accepts --threads N (default: the RSM_THREADS
 environment variable, else all available cores). The thread count only
 affects speed: fitted models are bit-identical for any value.
+
+--implicit streams the basis dictionary instead of materializing the
+K x M design matrix — required memory drops from O(K*M) to O(K + M),
+which is what makes million-basis dictionaries fit in RAM.
 
 The CSV has one sample per row; every column except the response is a
 variation variable. A header row is auto-detected.
@@ -179,7 +195,6 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
         .collect();
 
     let dict = Dictionary::new(inputs.cols(), kind);
-    let g = dict.design_matrix(&inputs);
     let order = if let Some(l) = opts.optional("lambda") {
         ModelOrder::Fixed(l.parse().map_err(|_| "--lambda must be an integer")?)
     } else {
@@ -190,8 +205,23 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
             .map_err(|_| "--lambda-max must be an integer")?;
         ModelOrder::CrossValidated(CvConfig::new(lmax))
     };
-    let report = solver::fit(&g, &f, method, &order).map_err(|e| e.to_string())?;
-    let train_error = relative_error(&report.model.predict_matrix(&g), &f);
+    let (report, train_error) = if opts.boolean("implicit") {
+        // Matrix-free: the solver streams dictionary columns on
+        // demand; the K×M design matrix is never allocated.
+        let src = DictionarySource::new(&dict, &inputs);
+        let report = solver::fit(&src, &f, method, &order).map_err(|e| e.to_string())?;
+        let pred: Vec<f64> = (0..inputs.rows())
+            .map(|r| report.model.predict_point(&dict, inputs.row(r)))
+            .collect();
+        let err = relative_error(&pred, &f);
+        (report, err)
+    } else {
+        // rsm-lint: allow(R6) — explicit dense path, chosen by the user; fine at CLI-scale M
+        let g = dict.design_matrix(&inputs);
+        let report = solver::fit(&g, &f, method, &order).map_err(|e| e.to_string())?;
+        let err = relative_error(&report.model.predict_matrix(&g), &f);
+        (report, err)
+    };
 
     let bundle = ModelBundle {
         input_columns,
@@ -208,7 +238,7 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
         out,
         "fit {}: K = {}, N = {}, M = {} bases, λ = {}, {} non-zeros, in-sample error {:.2}%",
         report.method.name(),
-        g.rows(),
+        inputs.rows(),
         inputs.cols(),
         dict.len(),
         report.lambda,
@@ -422,6 +452,46 @@ mod tests {
         assert_eq!(j1, j2, "model must be thread-count-invariant");
         assert!(run(&s(&["fit", "--threads", "0"])).is_err());
         assert!(run(&s(&["fit", "--threads", "x"])).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn implicit_fit_matches_dense_fit() {
+        let (dir, csv_path) = sample_csv(110, 8);
+        let dense = dir.join("dense.json").to_string_lossy().into_owned();
+        let implicit = dir.join("implicit.json").to_string_lossy().into_owned();
+        for (extra, path) in [(None, &dense), (Some("--implicit"), &implicit)] {
+            let mut args = s(&[
+                "fit",
+                "--input",
+                &csv_path,
+                "--response",
+                "delay",
+                "--method",
+                "lar",
+                "--basis",
+                "quadratic",
+                "--lambda-max",
+                "8",
+                "--model",
+                path,
+            ]);
+            if let Some(flag) = extra {
+                args.push(flag.to_string());
+            }
+            let out = run(&args).unwrap();
+            assert!(out.contains("fit LAR"), "{out}");
+        }
+        let jd = std::fs::read_to_string(&dense).unwrap();
+        let ji = std::fs::read_to_string(&implicit).unwrap();
+        let bd: ModelBundle = serde_json::from_str(&jd).unwrap();
+        let bi: ModelBundle = serde_json::from_str(&ji).unwrap();
+        assert_eq!(bd.lambda, bi.lambda);
+        assert_eq!(bd.model.support(), bi.model.support());
+        for (&(ja, ca), &(jb, cb)) in bd.model.coefficients().iter().zip(bi.model.coefficients()) {
+            assert_eq!(ja, jb);
+            assert!((ca - cb).abs() < 1e-9 * (1.0 + ca.abs()), "{ca} vs {cb}");
+        }
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -18,6 +18,7 @@
 
 use crate::model::SparseModel;
 use crate::path::SparsePath;
+use crate::source::AtomSource;
 use crate::{CoreError, Result};
 use rsm_linalg::cholesky::GrowingCholesky;
 use rsm_linalg::tol;
@@ -63,7 +64,23 @@ impl LarConfig {
     /// - [`CoreError::Numerical`] if the active-set Gram factorization
     ///   breaks down irrecoverably.
     pub fn fit(&self, g: &Matrix, f: &[f64]) -> Result<SparsePath> {
-        let (k, m) = g.shape();
+        self.fit_source(g, f)
+    }
+
+    /// Runs LARS against any [`AtomSource`] — the matrix-free path.
+    ///
+    /// Numerically identical to [`Self::fit`]: the column-norm sweep,
+    /// correlation updates, and column gathers go through the source
+    /// trait, whose dense `Matrix` implementation performs the exact
+    /// same floating-point operations in the same order. Per-step cost
+    /// is two [`AtomSource::correlate`] streams plus `O(K)` work per
+    /// active column; scratch is `O(K·|A| + M)`, never `O(K·M)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::fit`].
+    pub fn fit_source<S: AtomSource + ?Sized>(&self, g: &S, f: &[f64]) -> Result<SparsePath> {
+        let (k, m) = (g.num_rows(), g.num_atoms());
         if f.len() != k {
             return Err(CoreError::ShapeMismatch {
                 expected: format!("response of length {k}"),
@@ -83,13 +100,7 @@ impl LarConfig {
             return Ok(SparsePath::new(m, vec![SparseModel::zero(m)], vec![0.0]));
         }
         // Column norms for internal normalization.
-        let mut col_norms = vec![0.0f64; m];
-        for r in 0..k {
-            let row = g.row(r);
-            for (j, &v) in row.iter().enumerate() {
-                col_norms[j] += v * v;
-            }
-        }
+        let mut col_norms = g.column_sq_norms();
         let mut excluded = vec![false; m];
         for (j, n) in col_norms.iter_mut().enumerate() {
             *n = n.sqrt();
@@ -98,7 +109,8 @@ impl LarConfig {
             }
         }
         let fetch_col = |j: usize| -> Vec<f64> {
-            let mut c = g.col(j);
+            let mut c = vec![0.0; k];
+            g.column_into(j, &mut c);
             let inv = 1.0 / col_norms[j];
             for v in &mut c {
                 *v *= inv;
@@ -110,7 +122,7 @@ impl LarConfig {
         let mut mu = vec![0.0; k]; // current fit X·β
         let mut c: Vec<f64> = {
             // c = Xᵀ f with column normalization.
-            let mut c = g.matvec_t(f)?;
+            let mut c = g.correlate(f);
             for (j, v) in c.iter_mut().enumerate() {
                 *v /= col_norms[j].max(1e-300);
             }
@@ -182,7 +194,7 @@ impl LarConfig {
             for (ac, &wj) in active_cols.iter().zip(&w) {
                 axpy(wj, ac, &mut u);
             }
-            let mut a_vec = g.matvec_t(&u)?;
+            let mut a_vec = g.correlate(&u);
             for (j, v) in a_vec.iter_mut().enumerate() {
                 *v /= col_norms[j].max(1e-300);
             }

@@ -9,6 +9,7 @@
 //! users trade LARS's exact path for warm-started penalty grids.
 
 use crate::model::SparseModel;
+use crate::source::AtomSource;
 use crate::{CoreError, Result};
 use rsm_linalg::tol;
 use rsm_linalg::vec_ops::{axpy, norm2};
@@ -46,7 +47,20 @@ impl LassoCdConfig {
     /// - [`CoreError::Numerical`] if the sweep cap is exhausted before
     ///   convergence.
     pub fn fit(&self, g: &Matrix, f: &[f64]) -> Result<SparseModel> {
-        self.fit_warm(g, f, None)
+        self.fit_warm_source(g, f, None)
+    }
+
+    /// Runs coordinate descent against any [`AtomSource`] — the
+    /// matrix-free path. Each sweep touches every atom's column once,
+    /// so wrapping a streaming source in
+    /// [`crate::source::CachedSource`] avoids re-evaluating columns on
+    /// every sweep.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::fit`].
+    pub fn fit_source<S: AtomSource + ?Sized>(&self, g: &S, f: &[f64]) -> Result<SparseModel> {
+        self.fit_warm_source(g, f, None)
     }
 
     /// As [`Self::fit`], optionally starting from a previous solution
@@ -57,7 +71,21 @@ impl LassoCdConfig {
     ///
     /// As [`Self::fit`].
     pub fn fit_warm(&self, g: &Matrix, f: &[f64], warm: Option<&[f64]>) -> Result<SparseModel> {
-        let (k, m) = g.shape();
+        self.fit_warm_source(g, f, warm)
+    }
+
+    /// As [`Self::fit_source`] with an optional warm start.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::fit`].
+    pub fn fit_warm_source<S: AtomSource + ?Sized>(
+        &self,
+        g: &S,
+        f: &[f64],
+        warm: Option<&[f64]>,
+    ) -> Result<SparseModel> {
+        let (k, m) = (g.num_rows(), g.num_atoms());
         if f.len() != k {
             return Err(CoreError::ShapeMismatch {
                 expected: format!("response of length {k}"),
@@ -81,23 +109,21 @@ impl LassoCdConfig {
             ));
         }
         // Column squared norms (coordinate curvature).
-        let mut col_sq = vec![0.0f64; m];
-        for r in 0..k {
-            let row = g.row(r);
-            for (j, &v) in row.iter().enumerate() {
-                col_sq[j] += v * v;
-            }
-        }
+        let col_sq = g.column_sq_norms();
         let mut alpha: Vec<f64> = warm.map(|w| w.to_vec()).unwrap_or_else(|| vec![0.0; m]);
-        // Residual r = F − G·α.
+        // Residual r = F − G·α (gathering only the warm start's
+        // nonzero columns — no dense matvec needed).
         let mut res = f.to_vec();
+        let mut col = vec![0.0; k];
         if warm.is_some() {
-            let pred = g.matvec(&alpha)?;
-            for (ri, pi) in res.iter_mut().zip(&pred) {
-                *ri -= pi;
+            for (j, &aj) in alpha.iter().enumerate() {
+                if tol::exactly_zero(aj) {
+                    continue;
+                }
+                g.column_into(j, &mut col);
+                axpy(-aj, &col, &mut res);
             }
         }
-        let mut col = vec![0.0; k];
         let fscale = norm2(f).max(1e-300);
         for _sweep in 0..self.max_sweeps {
             let mut max_delta = 0.0f64;
@@ -106,7 +132,7 @@ impl LassoCdConfig {
                 if col_sq[j] <= 1e-300 {
                     continue;
                 }
-                g.col_into(j, &mut col);
+                g.column_into(j, &mut col);
                 // Partial residual correlation: ρ = G_jᵀ(r + G_j α_j).
                 let rho = rsm_linalg::vec_ops::dot(&col, &res) + col_sq[j] * alpha[j];
                 let new = soft_threshold(rho, self.penalty) / col_sq[j];
@@ -152,7 +178,22 @@ fn soft_threshold(x: f64, t: f64) -> f64 {
 /// The smallest penalty at which the lasso solution is exactly zero:
 /// `λ_max = ‖Gᵀ·F‖_∞`.
 pub fn penalty_max(g: &Matrix, f: &[f64]) -> Result<f64> {
-    let c = g.matvec_t(f).map_err(CoreError::from)?;
+    penalty_max_source(g, f)
+}
+
+/// As [`penalty_max`] for any [`AtomSource`].
+///
+/// # Errors
+///
+/// [`CoreError::ShapeMismatch`] if `f.len() != g.num_rows()`.
+pub fn penalty_max_source<S: AtomSource + ?Sized>(g: &S, f: &[f64]) -> Result<f64> {
+    if f.len() != g.num_rows() {
+        return Err(CoreError::ShapeMismatch {
+            expected: format!("response of length {}", g.num_rows()),
+            found: format!("length {}", f.len()),
+        });
+    }
+    let c = g.correlate(f);
     Ok(c.iter().fold(0.0f64, |a, &v| a.max(v.abs())))
 }
 

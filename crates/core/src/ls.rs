@@ -6,6 +6,7 @@
 //! beat by 2–25× in the paper's tables.
 
 use crate::model::SparseModel;
+use crate::source::AtomSource;
 use crate::{CoreError, Result};
 use rsm_linalg::qr::QrDecomposition;
 use rsm_linalg::Matrix;
@@ -52,6 +53,45 @@ impl LsConfig {
             .solve_least_squares(f)
             .map_err(|e| CoreError::Unsolvable(format!("rank-deficient design matrix: {e}")))?;
         Ok(SparseModel::new(m, alpha.into_iter().enumerate().collect()))
+    }
+
+    /// Fits by least squares against any [`AtomSource`].
+    ///
+    /// LS genuinely needs the full dense `G` (a QR factorization is
+    /// not a streaming operation), so this validates the same
+    /// preconditions as [`Self::fit`] — crucially `K ≥ M` *before*
+    /// allocating anything — and only then materializes the `K×M`
+    /// matrix through [`AtomSource::columns_into`]. Because LS is only
+    /// legal in the overdetermined regime, the materialization is
+    /// bounded by `K²` doubles and the huge-`M` streaming problem this
+    /// trait exists for can never reach it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::fit`].
+    pub fn fit_source<S: AtomSource + ?Sized>(&self, g: &S, f: &[f64]) -> Result<SparseModel> {
+        let (k, m) = (g.num_rows(), g.num_atoms());
+        if f.len() != k {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("response of length {k}"),
+                found: format!("length {}", f.len()),
+            });
+        }
+        if f.iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::BadConfig(
+                "response vector contains non-finite values".into(),
+            ));
+        }
+        if k < m {
+            return Err(CoreError::Unsolvable(format!(
+                "least squares needs K >= M (got K = {k}, M = {m}); \
+                 use OMP/LAR/STAR for underdetermined systems"
+            )));
+        }
+        let js: Vec<usize> = (0..m).collect();
+        let mut dense = Matrix::zeros(k, m);
+        g.columns_into(&js, &mut dense);
+        self.fit(&dense, f)
     }
 }
 

@@ -8,10 +8,12 @@
 //! `λ*`.
 
 use crate::path::SparsePath;
+use crate::source::{AtomSource, RowSubsetSource};
 use crate::{CoreError, Result};
 use rsm_linalg::Matrix;
 use rsm_stats::metrics::relative_error;
 use rsm_stats::{NormalSampler, QFold};
+use std::collections::BTreeMap;
 
 /// Cross-validation configuration.
 #[derive(Debug, Clone)]
@@ -27,7 +29,7 @@ pub struct CvConfig {
     /// minimizer, pick the *smallest* `λ` whose mean error is within
     /// one standard error of the minimum — a sparser model at
     /// statistically indistinguishable accuracy (Hastie et al., the
-    /// paper's reference [22]).
+    /// paper's reference \[22\]).
     pub one_se_rule: bool,
 }
 
@@ -83,7 +85,47 @@ pub fn cross_validate<F>(g: &Matrix, f: &[f64], cfg: &CvConfig, fit_path: F) -> 
 where
     F: Fn(&Matrix, &[f64]) -> Result<SparsePath> + Sync,
 {
-    let k = g.rows();
+    // Legacy dense entry point: materialize each fold's training view
+    // (a row gather, exactly `select_rows`) and hand the caller the
+    // `&Matrix` it expects. Scoring still happens source-side in
+    // `cross_validate_source`, with the same per-row accumulation
+    // order as `SparseModel::predict_matrix` — results are
+    // bit-identical to fitting on copied sub-matrices.
+    cross_validate_source(g, f, cfg, |view, ft| {
+        let rows: Vec<usize> = (0..view.num_rows()).collect();
+        let g_train = RowSubsetSource::new(view, &rows).materialize();
+        fit_path(&g_train, ft)
+    })
+}
+
+/// Cross-validates a path-producing solver against any [`AtomSource`].
+///
+/// Each fold's training and test sets are [`RowSubsetSource`] views of
+/// `g` — nothing `K×M`-sized is ever copied or materialized. The
+/// closure receives the training view as `&dyn AtomSource` (the trait
+/// is object-safe) and the training response, and must return the
+/// solver's path; scoring gathers only the path's support columns on
+/// the test view.
+///
+/// The folds are fit in parallel (`Fn + Sync`, one task per fold via
+/// [`rsm_runtime::par_map_indexed`]); each fold's work is independent
+/// and its error curve lands at the fold's own index, so the result is
+/// bit-identical to the sequential loop at every thread count.
+///
+/// # Errors
+///
+/// As [`cross_validate`].
+pub fn cross_validate_source<S, F>(
+    g: &S,
+    f: &[f64],
+    cfg: &CvConfig,
+    fit_path: F,
+) -> Result<CvResult>
+where
+    S: AtomSource + ?Sized + Sync,
+    F: Fn(&dyn AtomSource, &[f64]) -> Result<SparsePath> + Sync,
+{
+    let k = g.num_rows();
     if f.len() != k {
         return Err(CoreError::ShapeMismatch {
             expected: format!("response of length {k}"),
@@ -111,15 +153,41 @@ where
     let splits: Vec<(Vec<usize>, Vec<usize>)> = folds.splits().collect();
     let fold_results: Vec<Result<Vec<f64>>> = rsm_runtime::par_map_indexed(splits.len(), |q| {
         let (train, test) = &splits[q];
-        let g_train = g.select_rows(train);
+        let train_view = RowSubsetSource::new(g, train);
         let f_train: Vec<f64> = train.iter().map(|&i| f[i]).collect();
-        let g_test = g.select_rows(test);
+        let test_view = RowSubsetSource::new(g, test);
         let f_test: Vec<f64> = test.iter().map(|&i| f[i]).collect();
-        let path = fit_path(&g_train, &f_train)?;
+        let path = fit_path(&train_view, &f_train)?;
+        // Gather the union of the path's supports on the test rows
+        // once; every λ is then scored from this |test|×|union| slab.
+        // The union is bounded by the path length (plus lasso drops),
+        // never by M.
+        let mut union: Vec<usize> = Vec::new();
+        for lambda in 1..=cfg.lambda_max {
+            for &(j, _) in path.model_at(lambda).coefficients() {
+                if let Err(pos) = union.binary_search(&j) {
+                    union.insert(pos, j);
+                }
+            }
+        }
+        let mut cols = Matrix::zeros(test.len(), union.len());
+        test_view.columns_into(&union, &mut cols);
+        let pos_of: BTreeMap<usize, usize> =
+            union.iter().enumerate().map(|(p, &j)| (j, p)).collect();
         let mut fold_errs = Vec::with_capacity(cfg.lambda_max);
+        let mut pred = vec![0.0; test.len()];
         for lambda in 1..=cfg.lambda_max {
             let model = path.model_at(lambda);
-            let pred = model.predict_matrix(&g_test);
+            for (r, p) in pred.iter_mut().enumerate() {
+                // Same term order as `SparseModel::predict_row`
+                // (coefficient order, from 0.0) so the fold errors are
+                // bit-identical to dense scoring.
+                *p = model
+                    .coefficients()
+                    .iter()
+                    .map(|&(j, c)| c * cols[(r, pos_of[&j])])
+                    .sum();
+            }
             fold_errs.push(relative_error(&pred, &f_test));
         }
         Ok(fold_errs)

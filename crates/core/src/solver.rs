@@ -5,10 +5,10 @@ use crate::lar::LarConfig;
 use crate::ls::LsConfig;
 use crate::model::SparseModel;
 use crate::omp::OmpConfig;
-use crate::select::{cross_validate, CvConfig, CvResult};
+use crate::select::{cross_validate_source, CvConfig, CvResult};
+use crate::source::AtomSource;
 use crate::star::StarConfig;
 use crate::{CoreError, Result};
-use rsm_linalg::Matrix;
 use std::time::Instant;
 
 /// The four modeling techniques compared throughout the paper's
@@ -72,15 +72,28 @@ pub struct FitReport {
 
 /// Fits `G·α = F` with the chosen method and model-order policy.
 ///
+/// `g` is any [`AtomSource`] — a dense [`rsm_linalg::Matrix`], a
+/// streaming [`crate::source::DictionarySource`], or an adapter stack.
+/// With a streaming source, nothing `K×M`-sized is materialized by any
+/// sparse method (LS is the exception: it refuses underdetermined
+/// problems first, so its dense fallback is bounded by `K²`).
+/// Cross-validation folds are [`crate::source::RowSubsetSource`] views
+/// fit in parallel.
+///
 /// # Errors
 ///
 /// Propagates the underlying solver errors; see [`OmpConfig::fit`],
 /// [`LarConfig::fit`], [`StarConfig::fit`], [`LsConfig::fit`].
-pub fn fit(g: &Matrix, f: &[f64], method: Method, order: &ModelOrder) -> Result<FitReport> {
+pub fn fit<S: AtomSource + ?Sized + Sync>(
+    g: &S,
+    f: &[f64],
+    method: Method,
+    order: &ModelOrder,
+) -> Result<FitReport> {
     let t0 = Instant::now();
     let report = match method {
         Method::Ls => {
-            let model = LsConfig.fit(g, f)?;
+            let model = LsConfig.fit_source(g, f)?;
             FitReport {
                 lambda: model.num_bases(),
                 model,
@@ -93,7 +106,7 @@ pub fn fit(g: &Matrix, f: &[f64], method: Method, order: &ModelOrder) -> Result<
             let (lambda, cv) = match order {
                 ModelOrder::Fixed(l) => (*l, None),
                 ModelOrder::CrossValidated(cfg) => {
-                    let cv = cross_validate(g, f, cfg, |gt, ft| {
+                    let cv = cross_validate_source(g, f, cfg, |gt, ft| {
                         fit_path(method, gt, ft, cfg.lambda_max)
                     })?;
                     (cv.best_lambda, Some(cv))
@@ -118,15 +131,16 @@ pub fn fit(g: &Matrix, f: &[f64], method: Method, order: &ModelOrder) -> Result<
     })
 }
 
-/// Runs the path-producing form of a sparse method.
+/// Runs the path-producing form of a sparse method on any
+/// [`AtomSource`].
 ///
 /// # Errors
 ///
 /// As the underlying solver; [`CoreError::BadConfig`] for [`Method::Ls`]
 /// (which has no path).
-pub fn fit_path(
+pub fn fit_path<S: AtomSource + ?Sized>(
     method: Method,
-    g: &Matrix,
+    g: &S,
     f: &[f64],
     lambda_max: usize,
 ) -> Result<crate::path::SparsePath> {
@@ -134,16 +148,17 @@ pub fn fit_path(
         Method::Ls => Err(CoreError::BadConfig(
             "LS does not produce a selection path".into(),
         )),
-        Method::Star => StarConfig::new(lambda_max).fit(g, f),
-        Method::Lar => LarConfig::new(lambda_max).fit(g, f),
-        Method::LarLasso => LarConfig::new(lambda_max).with_lasso().fit(g, f),
-        Method::Omp => OmpConfig::new(lambda_max).fit(g, f),
+        Method::Star => StarConfig::new(lambda_max).fit_source(g, f),
+        Method::Lar => LarConfig::new(lambda_max).fit_source(g, f),
+        Method::LarLasso => LarConfig::new(lambda_max).with_lasso().fit_source(g, f),
+        Method::Omp => OmpConfig::new(lambda_max).fit_source(g, f),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsm_linalg::Matrix;
     use rsm_stats::metrics::relative_error;
     use rsm_stats::NormalSampler;
 

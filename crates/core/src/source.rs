@@ -1,21 +1,45 @@
-//! Implicit design-matrix sources.
+//! Implicit design-matrix sources — the solver engine's central
+//! abstraction.
 //!
 //! The paper targets up to `M ≈ 10⁶` model coefficients. A
 //! materialized design matrix at `K = 10³`, `M = 10⁶` is 8 GB — beyond
-//! sensible memory — but the greedy solvers only ever need two
-//! operations on `G`:
+//! sensible memory — so every solver in this crate (OMP, STAR, LAR,
+//! lasso-CD, LS, and the [`crate::select`] cross-validation driver)
+//! is written against [`AtomSource`] instead of a concrete
+//! [`rsm_linalg::Matrix`]. The dense matrix is just one implementation;
+//! [`DictionarySource`] is the streaming one, evaluating a Hermite
+//! dictionary on the fly with `O(K + M)` scratch instead of `O(K·M)`
+//! storage.
 //!
-//! 1. `correlate`: `ξ = Gᵀ·res` over all atoms (the selection step);
-//! 2. `column_into`: materialize the *one* selected column.
+//! The trait surface mirrors what the path algorithms actually touch:
 //!
-//! [`AtomSource`] abstracts those two; [`rsm_linalg::Matrix`]
-//! implements it for the in-memory path, and [`DictionarySource`]
-//! implements it by evaluating a Hermite dictionary on the fly, row by
-//! row, with `O(K + M)` scratch instead of `O(K·M)` storage.
+//! - [`AtomSource::correlate`] — `ξ = Gᵀ·res` over all atoms (the
+//!   selection step of every greedy/path method);
+//! - [`AtomSource::column_into`] — materialize one selected column;
+//! - [`AtomSource::columns_into`] — batched gather of an active set;
+//! - [`AtomSource::row_into`] — one design-matrix row, for prediction
+//!   and cross-validation scoring;
+//! - [`AtomSource::column_sq_norms`] — per-atom squared norms (LAR and
+//!   lasso-CD normalization);
+//! - [`AtomSource::gram_active`] — the active-set Gram matrix
+//!   `G_Aᵀ·G_A`.
+//!
+//! All but the first two have default implementations in terms of
+//! `column_into`, so existing implementations keep working; the
+//! provided sources override them with faster, allocation-free or
+//! parallel versions.
+//!
+//! Adapters compose sources without materializing anything:
+//! [`CachedSource`] memoizes evaluated column blocks (LAR re-reads its
+//! active set every step), and [`RowSubsetSource`] presents a row
+//! slice of another source (cross-validation folds).
 
 use rsm_basis::Dictionary;
 use rsm_linalg::tol;
+use rsm_linalg::vec_ops::dot;
 use rsm_linalg::Matrix;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// Minimum `K·M` work (rows × atoms) before the streaming correlation
 /// goes parallel. Like the `rsm-linalg` kernels, the gate depends only
@@ -24,15 +48,26 @@ use rsm_linalg::Matrix;
 const PAR_MIN_WORK: usize = 32_768;
 
 /// Fixed number of sample-row chunks for the parallel streaming
-/// correlation. Constant so the chunk grid (and therefore the
-/// floating-point accumulation order) never depends on the thread
-/// count. Partial accumulators are `M` doubles each and at most
-/// ~2×threads are alive at once (see `rsm_runtime::par_chunks_reduce`),
-/// which keeps the `M = 10⁶` streaming path affordable.
+/// kernels (`correlate`, `column_sq_norms`, `column_block_into`).
+/// Constant so the chunk grid (and therefore the floating-point
+/// accumulation order) never depends on the thread count. Partial
+/// accumulators are `M` doubles each and at most ~2×threads are alive
+/// at once (see `rsm_runtime::par_chunks_reduce`), which keeps the
+/// `M = 10⁶` streaming path affordable.
+///
+/// Note: this constant chunks the **row** axis; [`CachedSource`]
+/// blocks the **column** axis (see [`CachedSource::DEFAULT_BLOCK`]).
+/// The two grids are orthogonal, so caching never changes which row
+/// chunks a parallel evaluation uses — DESIGN.md § AtomSource layering
+/// spells out the interaction.
 const PAR_ROW_CHUNKS: usize = 16;
 
-/// Minimal interface a greedy sparse solver needs from the design
-/// matrix `G ∈ R^{K×M}`.
+/// The interface a sparse solver needs from the design matrix
+/// `G ∈ R^{K×M}`.
+///
+/// Only [`Self::correlate`] and [`Self::column_into`] are required;
+/// the remaining operations have (possibly slow) default
+/// implementations so that minimal sources keep working.
 pub trait AtomSource {
     /// Number of rows `K` (samples).
     fn num_rows(&self) -> usize;
@@ -54,6 +89,138 @@ pub trait AtomSource {
     /// Implementations panic if `j >= num_atoms()` or
     /// `out.len() != num_rows()`.
     fn column_into(&self, j: usize, out: &mut [f64]);
+
+    /// Batched gather of an active set: column `js[c]` lands in column
+    /// `c` of `out`. The indices need not be sorted or distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `num_rows() × js.len()` or any index is
+    /// out of range.
+    fn columns_into(&self, js: &[usize], out: &mut Matrix) {
+        assert_eq!(out.rows(), self.num_rows(), "columns_into: wrong row count");
+        assert_eq!(out.cols(), js.len(), "columns_into: wrong column count");
+        let mut col = vec![0.0; self.num_rows()];
+        for (c, &j) in js.iter().enumerate() {
+            self.column_into(j, &mut col);
+            out.set_col(c, &col);
+        }
+    }
+
+    /// Materializes design-matrix row `k` (all `M` basis values at one
+    /// sample point) into `out` — the operation prediction and
+    /// cross-validation scoring need.
+    ///
+    /// The default gathers every column and is `O(K·M)`; real sources
+    /// override it with an `O(M)` row evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= num_rows()` or `out.len() != num_atoms()`.
+    fn row_into(&self, k: usize, out: &mut [f64]) {
+        assert!(k < self.num_rows(), "row_into: row out of range");
+        assert_eq!(out.len(), self.num_atoms(), "row_into: wrong output size");
+        let mut col = vec![0.0; self.num_rows()];
+        for (j, o) in out.iter_mut().enumerate() {
+            self.column_into(j, &mut col);
+            *o = col[k];
+        }
+    }
+
+    /// Squared L2 norm of every column — the normalization pass of LAR
+    /// and the coordinate curvatures of lasso-CD. Default: one
+    /// column-at-a-time sweep with `O(K)` scratch.
+    fn column_sq_norms(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_atoms()];
+        let mut col = vec![0.0; self.num_rows()];
+        for (j, o) in out.iter_mut().enumerate() {
+            self.column_into(j, &mut col);
+            *o = dot(&col, &col);
+        }
+        out
+    }
+
+    /// Materializes the contiguous column block
+    /// `[col_start, col_start + out.cols())` into `out`
+    /// (`num_rows() × B`). [`CachedSource`] fills its cache through
+    /// this, so sources can provide a batched evaluation (the
+    /// dictionary source parallelizes over row chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block extends past `num_atoms()` or
+    /// `out.rows() != num_rows()`.
+    fn column_block_into(&self, col_start: usize, out: &mut Matrix) {
+        assert_eq!(
+            out.rows(),
+            self.num_rows(),
+            "column_block_into: wrong row count"
+        );
+        assert!(
+            col_start + out.cols() <= self.num_atoms(),
+            "column_block_into: block out of range"
+        );
+        let mut col = vec![0.0; self.num_rows()];
+        for c in 0..out.cols() {
+            self.column_into(col_start + c, &mut col);
+            out.set_col(c, &col);
+        }
+    }
+
+    /// The active-set Gram matrix `G_Aᵀ·G_A` (`|js| × |js|`,
+    /// symmetric). Default: gather the columns, then pairwise dot
+    /// products — `O(K·|A|²)` time, `O(K·|A|)` scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    fn gram_active(&self, js: &[usize]) -> Matrix {
+        let p = js.len();
+        let mut cols = Matrix::zeros(self.num_rows(), p);
+        self.columns_into(js, &mut cols);
+        let mut gram = Matrix::zeros(p, p);
+        let col_vecs: Vec<Vec<f64>> = (0..p).map(|c| cols.col(c)).collect();
+        for a in 0..p {
+            for b in a..p {
+                let v = dot(&col_vecs[a], &col_vecs[b]);
+                gram[(a, b)] = v;
+                gram[(b, a)] = v;
+            }
+        }
+        gram
+    }
+}
+
+/// References delegate to the underlying source (so adapters like
+/// [`CachedSource`] can either own or borrow their inner source).
+impl<S: AtomSource + ?Sized> AtomSource for &S {
+    fn num_rows(&self) -> usize {
+        (**self).num_rows()
+    }
+    fn num_atoms(&self) -> usize {
+        (**self).num_atoms()
+    }
+    fn correlate(&self, res: &[f64]) -> Vec<f64> {
+        (**self).correlate(res)
+    }
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        (**self).column_into(j, out);
+    }
+    fn columns_into(&self, js: &[usize], out: &mut Matrix) {
+        (**self).columns_into(js, out);
+    }
+    fn row_into(&self, k: usize, out: &mut [f64]) {
+        (**self).row_into(k, out);
+    }
+    fn column_sq_norms(&self) -> Vec<f64> {
+        (**self).column_sq_norms()
+    }
+    fn column_block_into(&self, col_start: usize, out: &mut Matrix) {
+        (**self).column_block_into(col_start, out);
+    }
+    fn gram_active(&self, js: &[usize]) -> Matrix {
+        (**self).gram_active(js)
+    }
 }
 
 impl AtomSource for Matrix {
@@ -66,12 +233,34 @@ impl AtomSource for Matrix {
     }
 
     fn correlate(&self, res: &[f64]) -> Vec<f64> {
-        // rsm-lint: allow(R3) — `res` is produced by this same source's matvec, so the length invariant holds by construction
-        self.matvec_t(res).expect("residual length mismatch")
+        // Shape pre-check so the failure surfaces through the
+        // documented panic path of the trait contract; with the length
+        // verified, `matvec_t` cannot fail.
+        assert_eq!(res.len(), self.rows(), "residual length mismatch");
+        match self.matvec_t(res) {
+            Ok(xi) => xi,
+            Err(_) => unreachable!("matvec_t length verified above"),
+        }
     }
 
     fn column_into(&self, j: usize, out: &mut [f64]) {
         self.col_into(j, out);
+    }
+
+    fn row_into(&self, k: usize, out: &mut [f64]) {
+        out.copy_from_slice(self.row(k));
+    }
+
+    fn column_sq_norms(&self) -> Vec<f64> {
+        // Row sweep: cache-friendly for the row-major layout.
+        let mut out = vec![0.0; self.cols()];
+        for r in 0..self.rows() {
+            let row = self.row(r);
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v * v;
+            }
+        }
+        out
     }
 }
 
@@ -121,6 +310,13 @@ impl<'a> DictionarySource<'a> {
     pub fn dictionary(&self) -> &Dictionary {
         self.dict
     }
+
+    /// True when the problem is large enough for the fixed-grid
+    /// parallel row sweep.
+    fn parallel_rows(&self) -> bool {
+        let k = self.samples.rows();
+        k > 1 && k.saturating_mul(self.dict.len()) >= PAR_MIN_WORK
+    }
 }
 
 impl AtomSource for DictionarySource<'_> {
@@ -136,7 +332,7 @@ impl AtomSource for DictionarySource<'_> {
         assert_eq!(res.len(), self.samples.rows(), "residual length mismatch");
         let k_rows = self.samples.rows();
         let m = self.dict.len();
-        if k_rows > 1 && k_rows.saturating_mul(m) >= PAR_MIN_WORK {
+        if self.parallel_rows() {
             // Partition the sample rows into a fixed chunk grid; each
             // chunk accumulates its own ξ partial, and the partials
             // are merged in ascending chunk order so the result is
@@ -188,6 +384,306 @@ impl AtomSource for DictionarySource<'_> {
         for (k, o) in out.iter_mut().enumerate() {
             *o = self.dict.eval_term(j, self.samples.row(k));
         }
+    }
+
+    fn row_into(&self, k: usize, out: &mut [f64]) {
+        self.dict.eval_point_into(self.samples.row(k), out);
+    }
+
+    fn column_sq_norms(&self) -> Vec<f64> {
+        let k_rows = self.samples.rows();
+        let m = self.dict.len();
+        if self.parallel_rows() {
+            // Same fixed row-chunk grid as `correlate`: per-chunk
+            // partial sums of squares, folded in ascending order.
+            let chunk = k_rows.div_ceil(PAR_ROW_CHUNKS).max(1);
+            let mut sq = vec![0.0; m];
+            rsm_runtime::par_chunks_reduce(
+                k_rows,
+                chunk,
+                |rr| {
+                    let mut part = vec![0.0; m];
+                    let mut row = vec![0.0; m];
+                    for k in rr {
+                        self.dict.eval_point_into(self.samples.row(k), &mut row);
+                        for (s, &g) in part.iter_mut().zip(&row) {
+                            *s += g * g;
+                        }
+                    }
+                    part
+                },
+                |part: Vec<f64>| {
+                    for (s, &p) in sq.iter_mut().zip(&part) {
+                        *s += p;
+                    }
+                },
+            );
+            return sq;
+        }
+        let mut sq = vec![0.0; m];
+        let mut row = vec![0.0; m];
+        for k in 0..k_rows {
+            self.dict.eval_point_into(self.samples.row(k), &mut row);
+            for (s, &g) in sq.iter_mut().zip(&row) {
+                *s += g * g;
+            }
+        }
+        sq
+    }
+
+    fn column_block_into(&self, col_start: usize, out: &mut Matrix) {
+        let k_rows = self.samples.rows();
+        let b = out.cols();
+        assert_eq!(out.rows(), k_rows, "column_block_into: wrong row count");
+        assert!(
+            col_start + b <= self.dict.len(),
+            "column_block_into: block out of range"
+        );
+        if self.parallel_rows() && b > 1 {
+            // Evaluate disjoint row chunks in parallel. Every entry is
+            // an independent `eval_term`, so the result is identical to
+            // the serial fill at any thread count.
+            let chunk = k_rows.div_ceil(PAR_ROW_CHUNKS).max(1);
+            let n_chunks = k_rows.div_ceil(chunk);
+            let parts: Vec<Matrix> = rsm_runtime::par_map_indexed(n_chunks, |ci| {
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(k_rows);
+                let rows: Vec<usize> = (lo..hi).collect();
+                let sub = self.samples.select_rows(&rows);
+                let mut blk = Matrix::zeros(hi - lo, b);
+                self.dict.eval_column_block(&sub, col_start, &mut blk);
+                blk
+            });
+            let mut r0 = 0usize;
+            for blk in parts {
+                for r in 0..blk.rows() {
+                    out.row_mut(r0 + r).copy_from_slice(blk.row(r));
+                }
+                r0 += blk.rows();
+            }
+            return;
+        }
+        self.dict.eval_column_block(self.samples, col_start, out);
+    }
+}
+
+/// A memoizing adapter: evaluates (and caches) columns of the inner
+/// source in fixed-size blocks, so solvers that repeatedly touch an
+/// active set — LAR re-reads its active columns on every drop/rebuild,
+/// lasso-CD sweeps all coordinates every pass — don't re-evaluate
+/// Hermite terms.
+///
+/// Determinism: blocks are keyed by `j / block`, a grid that depends
+/// only on the block size and the atom count — never on access order,
+/// thread count, or which column triggered the fill. A block's content
+/// is produced by [`AtomSource::column_block_into`] on the inner
+/// source (which for [`DictionarySource`] is the thread-count-
+/// invariant parallel evaluation), so a cached column is bit-identical
+/// to an uncached one.
+///
+/// Memory: at most `ceil(M / block)` blocks of `K × block` doubles —
+/// callers control the footprint by wrapping only when column reuse is
+/// expected, and by choosing a block size. `correlate` streams through
+/// the inner source and is deliberately *not* cached (one pass per
+/// solver step over all `M` atoms would defeat the point of a bounded
+/// cache).
+#[derive(Debug)]
+pub struct CachedSource<S> {
+    inner: S,
+    block: usize,
+    cache: Mutex<BTreeMap<usize, Arc<Matrix>>>,
+}
+
+impl<S: AtomSource> CachedSource<S> {
+    /// Default column-block width. Sixteen columns per block amortizes
+    /// the fill overhead while keeping a single block (`K × 16`
+    /// doubles) small; it is independent of the internal
+    /// `PAR_ROW_CHUNKS` grid, which chunks the *row* axis of each
+    /// block fill.
+    pub const DEFAULT_BLOCK: usize = 16;
+
+    /// Wraps `inner` with the default block width.
+    pub fn new(inner: S) -> Self {
+        Self::with_block(inner, Self::DEFAULT_BLOCK)
+    }
+
+    /// Wraps `inner` caching `block` columns per cache entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    pub fn with_block(inner: S, block: usize) -> Self {
+        assert!(block > 0, "CachedSource block width must be positive");
+        CachedSource {
+            inner,
+            block,
+            cache: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Number of column blocks currently cached (each one inner
+    /// evaluation of up to `block` columns).
+    pub fn cached_blocks(&self) -> usize {
+        self.lock_cache().len()
+    }
+
+    /// The inner source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, BTreeMap<usize, Arc<Matrix>>> {
+        match self.cache.lock() {
+            Ok(g) => g,
+            // A poisoned lock only means another thread panicked while
+            // filling; the map itself is still a valid cache.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Fetches (filling on miss) the block containing column `j`;
+    /// returns the block and the column's offset inside it.
+    fn block_for(&self, j: usize) -> (Arc<Matrix>, usize) {
+        let b = j / self.block;
+        let lo = b * self.block;
+        let width = self.block.min(self.inner.num_atoms() - lo);
+        let mut cache = self.lock_cache();
+        let blk = cache
+            .entry(b)
+            .or_insert_with(|| {
+                let mut m = Matrix::zeros(self.inner.num_rows(), width);
+                self.inner.column_block_into(lo, &mut m);
+                Arc::new(m)
+            })
+            .clone();
+        (blk, j - lo)
+    }
+}
+
+impl<S: AtomSource> AtomSource for CachedSource<S> {
+    fn num_rows(&self) -> usize {
+        self.inner.num_rows()
+    }
+
+    fn num_atoms(&self) -> usize {
+        self.inner.num_atoms()
+    }
+
+    fn correlate(&self, res: &[f64]) -> Vec<f64> {
+        self.inner.correlate(res)
+    }
+
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        assert!(j < self.num_atoms(), "column_into: atom out of range");
+        assert_eq!(out.len(), self.num_rows(), "column_into: wrong output size");
+        let (blk, c) = self.block_for(j);
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = blk[(r, c)];
+        }
+    }
+
+    fn row_into(&self, k: usize, out: &mut [f64]) {
+        self.inner.row_into(k, out);
+    }
+
+    fn column_sq_norms(&self) -> Vec<f64> {
+        self.inner.column_sq_norms()
+    }
+
+    fn column_block_into(&self, col_start: usize, out: &mut Matrix) {
+        self.inner.column_block_into(col_start, out);
+    }
+}
+
+/// A row-subset view of another source: the design matrix restricted
+/// to `rows`, without copying anything. Cross-validation folds are
+/// expressed as two of these views (train and test) over the full
+/// source.
+#[derive(Debug)]
+pub struct RowSubsetSource<'a, S: ?Sized> {
+    inner: &'a S,
+    rows: &'a [usize],
+}
+
+impl<'a, S: AtomSource + ?Sized> RowSubsetSource<'a, S> {
+    /// Wraps `inner`, exposing only `rows` (in the given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= inner.num_rows()`.
+    pub fn new(inner: &'a S, rows: &'a [usize]) -> Self {
+        let k = inner.num_rows();
+        assert!(rows.iter().all(|&r| r < k), "row subset index out of range");
+        RowSubsetSource { inner, rows }
+    }
+
+    /// The selected row indices of the inner source.
+    pub fn rows(&self) -> &[usize] {
+        self.rows
+    }
+
+    /// Materializes the view as a dense matrix (row gather). Only
+    /// sensible for small `M`; the dense [`crate::select::cross_validate`]
+    /// wrapper uses it to keep the legacy `&Matrix` closure signature.
+    pub fn materialize(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.rows.len(), self.inner.num_atoms());
+        for (r, &src_r) in self.rows.iter().enumerate() {
+            self.inner.row_into(src_r, g.row_mut(r));
+        }
+        g
+    }
+}
+
+impl<S: AtomSource + ?Sized> AtomSource for RowSubsetSource<'_, S> {
+    fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn num_atoms(&self) -> usize {
+        self.inner.num_atoms()
+    }
+
+    fn correlate(&self, res: &[f64]) -> Vec<f64> {
+        assert_eq!(res.len(), self.rows.len(), "residual length mismatch");
+        // Scatter into a full-length residual and delegate: rows
+        // outside the subset carry an exact 0.0, which contributes
+        // nothing (the streaming source skips exactly-zero residual
+        // rows outright). This reuses the inner source's deterministic
+        // parallel accumulation instead of re-deriving a chunk grid
+        // per subset.
+        let mut full = vec![0.0; self.inner.num_rows()];
+        for (&r, &v) in self.rows.iter().zip(res) {
+            full[r] = v;
+        }
+        self.inner.correlate(&full)
+    }
+
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows.len(), "column_into: wrong output size");
+        let mut full = vec![0.0; self.inner.num_rows()];
+        self.inner.column_into(j, &mut full);
+        for (o, &r) in out.iter_mut().zip(self.rows) {
+            *o = full[r];
+        }
+    }
+
+    fn row_into(&self, k: usize, out: &mut [f64]) {
+        self.inner.row_into(self.rows[k], out);
+    }
+
+    fn column_sq_norms(&self) -> Vec<f64> {
+        // Row sweep over the subset (same accumulation order as the
+        // dense row sweep on a materialized sub-matrix).
+        let m = self.inner.num_atoms();
+        let mut sq = vec![0.0; m];
+        let mut row = vec![0.0; m];
+        for &r in self.rows {
+            self.inner.row_into(r, &mut row);
+            for (s, &g) in sq.iter_mut().zip(&row) {
+                *s += g * g;
+            }
+        }
+        sq
     }
 }
 
@@ -254,5 +750,134 @@ mod tests {
         let dict = Dictionary::new(4, DictionaryKind::Linear);
         let samples = Matrix::zeros(3, 5);
         let _ = DictionarySource::new(&dict, &samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "residual length mismatch")]
+    fn matrix_correlate_checks_shape() {
+        let g = Matrix::zeros(4, 3);
+        let _ = AtomSource::correlate(&g, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rows_and_column_batches_match_materialized() {
+        let (dict, samples) = setup();
+        let g = dict.design_matrix(&samples);
+        let src = DictionarySource::new(&dict, &samples);
+        // row_into vs materialized rows, for both backends.
+        let mut row_s = vec![0.0; dict.len()];
+        let mut row_m = vec![0.0; dict.len()];
+        for k in [0usize, 7, 14] {
+            src.row_into(k, &mut row_s);
+            AtomSource::row_into(&g, k, &mut row_m);
+            assert_eq!(row_m, g.row(k).to_vec());
+            for (a, b) in row_s.iter().zip(&row_m) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+        // columns_into gather.
+        let js = [2usize, 0, 9, 9];
+        let mut got = Matrix::zeros(15, js.len());
+        src.columns_into(&js, &mut got);
+        for (c, &j) in js.iter().enumerate() {
+            for (r, v) in g.col(j).iter().enumerate() {
+                assert!((got[(r, c)] - v).abs() < 1e-12);
+            }
+        }
+        // column_block_into matches per-column evaluation.
+        let mut blk = Matrix::zeros(15, 5);
+        src.column_block_into(3, &mut blk);
+        for c in 0..5 {
+            for (r, v) in g.col(3 + c).iter().enumerate() {
+                assert!((blk[(r, c)] - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn column_sq_norms_match_both_backends() {
+        let (dict, samples) = setup();
+        let g = dict.design_matrix(&samples);
+        let src = DictionarySource::new(&dict, &samples);
+        let sq_m = AtomSource::column_sq_norms(&g);
+        let sq_s = src.column_sq_norms();
+        for (j, (a, b)) in sq_m.iter().zip(&sq_s).enumerate() {
+            assert!((a - b).abs() < 1e-10, "atom {j}: {a} vs {b}");
+            let col = g.col(j);
+            assert!((a - dot(&col, &col)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gram_active_is_symmetric_and_correct() {
+        let (dict, samples) = setup();
+        let g = dict.design_matrix(&samples);
+        let src = DictionarySource::new(&dict, &samples);
+        let js = [1usize, 4, 11];
+        let gram = src.gram_active(&js);
+        assert_eq!(gram.shape(), (3, 3));
+        for a in 0..3 {
+            for b in 0..3 {
+                let want = dot(&g.col(js[a]), &g.col(js[b]));
+                assert!((gram[(a, b)] - want).abs() < 1e-10);
+                assert!((gram[(a, b)] - gram[(b, a)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_source_returns_identical_columns_and_caches_blocks() {
+        let (dict, samples) = setup();
+        let src = DictionarySource::new(&dict, &samples);
+        let cached = CachedSource::with_block(&src, 4);
+        assert_eq!(cached.cached_blocks(), 0);
+        let mut a = vec![0.0; 15];
+        let mut b = vec![0.0; 15];
+        for j in [0usize, 1, 5, 6, 7, 1, 0] {
+            cached.column_into(j, &mut a);
+            src.column_into(j, &mut b);
+            assert_eq!(a, b, "cached column {j} differs");
+        }
+        // Columns 0,1 share block 0 (atoms 0–3); 5,6,7 share block 1.
+        assert_eq!(cached.cached_blocks(), 2);
+        // correlate streams through the inner source unchanged.
+        let res: Vec<f64> = (0..15).map(|i| (i as f64 * 0.17).cos()).collect();
+        assert_eq!(cached.correlate(&res), src.correlate(&res));
+        assert_eq!(cached.num_rows(), src.num_rows());
+        assert_eq!(cached.num_atoms(), src.num_atoms());
+    }
+
+    #[test]
+    fn row_subset_source_matches_select_rows() {
+        let (dict, samples) = setup();
+        let g = dict.design_matrix(&samples);
+        let rows = [1usize, 4, 7, 13];
+        let view = RowSubsetSource::new(&g, &rows);
+        let dense = g.select_rows(&rows);
+        assert_eq!(view.num_rows(), 4);
+        assert_eq!(view.num_atoms(), g.cols());
+        // Materialization is exactly the row-gathered matrix.
+        let mat = view.materialize();
+        assert_eq!(mat.as_slice(), dense.as_slice());
+        // correlate agrees with the copied sub-matrix.
+        let res = [0.5, -1.0, 2.0, 0.25];
+        let xi_view = view.correlate(&res);
+        let xi_dense = dense.correlate(&res);
+        for (a, b) in xi_view.iter().zip(&xi_dense) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Columns and rows.
+        let mut col = vec![0.0; 4];
+        view.column_into(3, &mut col);
+        assert_eq!(col, dense.col(3));
+        let mut row = vec![0.0; g.cols()];
+        view.row_into(2, &mut row);
+        assert_eq!(row, g.row(7).to_vec());
+        // Squared norms agree with the dense row sweep.
+        let sq_view = view.column_sq_norms();
+        let sq_dense = AtomSource::column_sq_norms(&dense);
+        for (a, b) in sq_view.iter().zip(&sq_dense) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

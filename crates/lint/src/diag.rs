@@ -18,6 +18,9 @@ pub enum Rule {
     R4,
     /// Any `unsafe` occurrence (the workspace is 100% safe Rust).
     R5,
+    /// `design_matrix(` call in a library crate: materializes the full
+    /// `K×M` design matrix, defeating the `AtomSource` streaming path.
+    R6,
     /// Malformed suppression: missing reason or unknown rule id.
     S0,
     /// Suppression that matched no diagnostic (stale allow).
@@ -25,7 +28,7 @@ pub enum Rule {
 }
 
 /// All source-checking rules, in report order.
-pub const SOURCE_RULES: [Rule; 5] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5];
+pub const SOURCE_RULES: [Rule; 6] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6];
 
 impl Rule {
     /// Stable rule identifier as used in `allow(...)` directives.
@@ -36,6 +39,7 @@ impl Rule {
             Rule::R3 => "R3",
             Rule::R4 => "R4",
             Rule::R5 => "R5",
+            Rule::R6 => "R6",
             Rule::S0 => "S0",
             Rule::S1 => "S1",
         }
@@ -51,7 +55,7 @@ impl Rule {
     pub fn severity(self) -> Severity {
         match self {
             Rule::R1 | Rule::R4 | Rule::R5 | Rule::S0 => Severity::Error,
-            Rule::R2 | Rule::R3 | Rule::S1 => Severity::Warning,
+            Rule::R2 | Rule::R3 | Rule::R6 | Rule::S1 => Severity::Warning,
         }
     }
 
@@ -78,6 +82,12 @@ impl Rule {
                  the environment"
             }
             Rule::R5 => "unsafe code: the workspace is 100% safe Rust and stays that way",
+            Rule::R6 => {
+                "design_matrix() call in a library crate: materializes the full K×M \
+                 design matrix (8 GB at K=10^3, M=10^6); solve through AtomSource \
+                 (DictionarySource / CachedSource) instead, or suppress with a reason \
+                 at deliberately-dense sites"
+            }
             Rule::S0 => "suppression directive without a written reason (or unknown rule id)",
             Rule::S1 => "suppression directive that matched no diagnostic (stale allow)",
         }

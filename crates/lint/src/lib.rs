@@ -14,6 +14,7 @@
 //! | R3   | no `unwrap()`/`expect()` in library crates outside tests |
 //! | R4   | no nondeterminism sources (wall clock, thread identity, env) |
 //! | R5   | no `unsafe` anywhere |
+//! | R6   | no dense `design_matrix()` materialization in solver-facing code |
 //!
 //! Violations are suppressed inline with
 //! `// rsm-lint: allow(R#) — reason` and every suppression must carry

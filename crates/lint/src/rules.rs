@@ -1,5 +1,5 @@
 //! The rule engine: classifies a file, walks its token stream, and
-//! reports R1–R5 findings (minus suppressed ones), then audits the
+//! reports R1–R6 findings (minus suppressed ones), then audits the
 //! suppressions themselves (S0/S1).
 
 use crate::diag::{Diagnostic, Rule};
@@ -171,6 +171,25 @@ pub fn lint_source(file: &str, src: &str, class: &FileClass) -> (Vec<Diagnostic>
                     );
                 }
             }
+        }
+
+        // R6: dense design-matrix materialization in solver-facing
+        // code. `fn design_matrix(` (the definition) is exempt; calls
+        // must either go through AtomSource or carry a reasoned allow.
+        if (class.is_lib_crate() || class.crate_name.as_deref() == Some("cli"))
+            && ident == Some("design_matrix")
+            && at(1).is_some_and(|t| t.is_punct("("))
+            && at(-1).and_then(Token::ident) != Some("fn")
+        {
+            emit(
+                Rule::R6,
+                tok.line,
+                "`design_matrix()` materializes the full K×M matrix; solve \
+                 through AtomSource (DictionarySource/CachedSource) or justify \
+                 the dense path with an allow"
+                    .into(),
+            );
+            continue;
         }
 
         // R4: nondeterminism sources outside bench crates.
@@ -363,6 +382,33 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n  fn f() { unsafe { } }\n}\n";
         let ds = lint_lib(src);
         assert_eq!(rules_of(&ds), vec![Rule::R5]);
+    }
+
+    #[test]
+    fn r6_fires_on_design_matrix_calls_not_definitions() {
+        let ds = lint_lib("fn f(d: &Dictionary, s: &Matrix) { let g = d.design_matrix(s); }\n");
+        assert_eq!(rules_of(&ds), vec![Rule::R6]);
+        // The definition in rsm-basis is not a materialization site.
+        assert!(
+            lint_lib("pub fn design_matrix(&self, s: &Matrix) -> Matrix { todo!() }\n").is_empty()
+        );
+        // The cli crate is in scope even though it is not a lib crate.
+        let class = FileClass::from_path("crates/cli/src/lib.rs");
+        let (ds, _) = lint_source("t.rs", "fn f() { dict.design_matrix(&inputs); }", &class);
+        assert_eq!(rules_of(&ds), vec![Rule::R6]);
+        // Bench tables and test files may go dense freely.
+        let class = FileClass::from_path("crates/bench/src/lib.rs");
+        let (ds, _) = lint_source("t.rs", "fn f() { dict.design_matrix(&inputs); }", &class);
+        assert!(ds.is_empty());
+        let class = FileClass::from_path("crates/core/tests/properties.rs");
+        let (ds, _) = lint_source("t.rs", "fn f() { dict.design_matrix(&inputs); }", &class);
+        assert!(ds.is_empty());
+        // A reasoned allow silences it.
+        let src = "// rsm-lint: allow(R6) — tiny M, dense is fine here\n\
+                   fn f() { dict.design_matrix(&inputs); }\n";
+        let (ds, used) = lint_source("t.rs", src, &FileClass::lib_context());
+        assert!(ds.is_empty(), "{ds:?}");
+        assert_eq!(used, 1);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! R6 fixture: dense design-matrix materialization.
+//!
+//! Two hazardous calls fire; the definition, the suppressed call, and
+//! the test-gated call stay quiet.
+
+pub fn hazardous(dict: &Dictionary, samples: &Matrix) -> Matrix {
+    let g = dict.design_matrix(samples);
+    let again = dict.design_matrix(&g);
+    again
+}
+
+// The definition itself (as in rsm-basis) is not a materialization site.
+pub fn design_matrix(samples: &Matrix) -> Matrix {
+    samples.clone()
+}
+
+pub fn sanctioned(dict: &Dictionary, samples: &Matrix) -> Matrix {
+    // rsm-lint: allow(R6) — tiny fixture dictionary, dense is intended
+    dict.design_matrix(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dense_is_fine_in_tests() {
+        let _ = dict.design_matrix(&samples);
+    }
+}

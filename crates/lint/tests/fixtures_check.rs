@@ -56,6 +56,15 @@ fn r5_fires_even_under_cfg_test() {
 }
 
 #[test]
+fn r6_positive_definition_and_suppression() {
+    // Two hazardous calls fire; the `fn design_matrix` definition, the
+    // reasoned allow, and the #[cfg(test)] call do not.
+    assert_eq!(rules_for("r6_materialize.rs"), vec![Rule::R6, Rule::R6]);
+    let report = lint_paths(&[fixture("r6_materialize.rs")]).expect("fixture readable");
+    assert_eq!(report.suppressions_used, 1);
+}
+
+#[test]
 fn reasoned_suppressions_make_the_file_clean() {
     let report = lint_paths(&[fixture("suppressed.rs")]).expect("fixture readable");
     assert!(report.is_clean(), "{:?}", report.diagnostics);
@@ -78,8 +87,8 @@ fn whole_corpus_diagnostic_census() {
     // directory walker and gives a single census that must stay in
     // sync with the per-file assertions above.
     let report = lint_paths(&[fixture("")]).expect("fixtures dir readable");
-    assert_eq!(report.files_scanned, 10);
-    assert_eq!(report.diagnostics.len(), 6 + 3 + 2 + 3 + 2 + 3);
+    assert_eq!(report.files_scanned, 11);
+    assert_eq!(report.diagnostics.len(), 6 + 3 + 2 + 3 + 2 + 3 + 2);
     // Deterministic ordering: report is sorted by (file, line, rule).
     let mut sorted = report.diagnostics.clone();
     sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));

@@ -101,7 +101,7 @@ fn rules_subcommand_documents_every_rule() {
         .expect("spawn rsm-lint");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for id in ["R1", "R2", "R3", "R4", "R5", "S0", "S1"] {
+    for id in ["R1", "R2", "R3", "R4", "R5", "R6", "S0", "S1"] {
         assert!(text.contains(id), "rules output lacks {id}: {text}");
     }
 }

@@ -19,11 +19,13 @@
 //! serial loops.
 
 use sparse_rsm::basis::{Dictionary, DictionaryKind};
-use sparse_rsm::core::select::{cross_validate, CvConfig};
+use sparse_rsm::core::lar::LarConfig;
+use sparse_rsm::core::lasso_cd::{penalty_max, LassoCdConfig};
+use sparse_rsm::core::select::{cross_validate, cross_validate_source, CvConfig};
 use sparse_rsm::core::solver::fit_path;
-use sparse_rsm::core::source::DictionarySource;
+use sparse_rsm::core::source::{CachedSource, DictionarySource, RowSubsetSource};
 use sparse_rsm::core::{Method, SparsePath};
-use sparse_rsm::linalg::Matrix;
+use sparse_rsm::linalg::{tol, Matrix};
 use sparse_rsm::runtime;
 use sparse_rsm::stats::NormalSampler;
 use std::sync::Mutex;
@@ -198,6 +200,140 @@ fn cross_validation_is_thread_count_invariant() {
             );
         }
     }
+    runtime::set_threads(0);
+}
+
+/// Asserts two paths select the same atoms in the same order at every
+/// model size, with coefficients equal within `tol::approx_eq`. Used
+/// for dense-vs-streaming comparisons, where the two backends
+/// accumulate dot products in different orders so last-bit equality is
+/// not guaranteed, but the *selected sets* must coincide.
+fn assert_paths_same_support_close_coeffs(dense: &SparsePath, src: &SparsePath, what: &str) {
+    assert_eq!(dense.len(), src.len(), "{what}: path lengths differ");
+    for lambda in 1..=dense.len() {
+        let ma = dense.model_at(lambda);
+        let mb = src.model_at(lambda);
+        assert_eq!(
+            ma.support(),
+            mb.support(),
+            "{what}: support differs at λ = {lambda}"
+        );
+        for ((ia, ca), (ib, cb)) in ma.coefficients().iter().zip(mb.coefficients()) {
+            assert_eq!(ia, ib, "{what}: atom order differs at λ = {lambda}");
+            assert!(
+                tol::approx_eq(*ca, *cb, 1e-9, 1e-12),
+                "{what}: coefficient {ia} differs at λ = {lambda} ({ca} vs {cb})"
+            );
+        }
+    }
+}
+
+#[test]
+fn lar_dense_and_source_backends_agree_per_thread_count() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (dict, samples, f) = dictionary_problem();
+    let g = dict.design_matrix(&samples);
+    let src = DictionarySource::new(&dict, &samples);
+    for &n in &[1usize, 4] {
+        runtime::set_threads(n);
+        let dense = LarConfig::new(10).fit(&g, &f).unwrap();
+        let implicit = LarConfig::new(10).fit_source(&src, &f).unwrap();
+        assert_paths_same_support_close_coeffs(
+            &dense,
+            &implicit,
+            &format!("LAR dense vs source @ {n} threads"),
+        );
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn lasso_cd_dense_and_source_backends_agree_per_thread_count() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (dict, samples, f) = dictionary_problem();
+    let g = dict.design_matrix(&samples);
+    let src = DictionarySource::new(&dict, &samples);
+    let penalty = 0.1 * penalty_max(&g, &f).unwrap();
+    for &n in &[1usize, 4] {
+        runtime::set_threads(n);
+        let dense = LassoCdConfig::new(penalty).fit(&g, &f).unwrap();
+        let implicit = LassoCdConfig::new(penalty).fit_source(&src, &f).unwrap();
+        assert_eq!(
+            dense.support(),
+            implicit.support(),
+            "lasso-CD backends disagree on the support at {n} threads"
+        );
+        for ((ia, ca), (ib, cb)) in dense.coefficients().iter().zip(implicit.coefficients()) {
+            assert_eq!(ia, ib, "lasso-CD atom order differs at {n} threads");
+            assert!(
+                tol::approx_eq(*ca, *cb, 1e-9, 1e-12),
+                "lasso-CD coefficient {ia} differs at {n} threads ({ca} vs {cb})"
+            );
+        }
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn cv_dense_and_source_backends_pick_the_same_model() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (dict, samples, f) = dictionary_problem();
+    let g = dict.design_matrix(&samples);
+    let src = DictionarySource::new(&dict, &samples);
+    let cfg = CvConfig::new(8);
+    for &n in &[1usize, 4] {
+        runtime::set_threads(n);
+        let dense =
+            cross_validate(&g, &f, &cfg, |gt, ft| fit_path(Method::Lar, gt, ft, 8)).unwrap();
+        let implicit = cross_validate_source(&src, &f, &cfg, |view, ft| {
+            fit_path(Method::Lar, view, ft, 8)
+        })
+        .unwrap();
+        assert_eq!(
+            dense.best_lambda, implicit.best_lambda,
+            "CV backends disagree on λ* at {n} threads"
+        );
+        for (a, b) in dense.errors.iter().zip(&implicit.errors) {
+            assert!(
+                tol::approx_eq(*a, *b, 1e-9, 1e-12),
+                "CV error curves diverge at {n} threads ({a} vs {b})"
+            );
+        }
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn cached_source_is_bit_transparent() {
+    // Memoizing columns must not change a single bit of any result:
+    // the cache stores exactly the floats the inner source produces.
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (dict, samples, f) = dictionary_problem();
+    let src = DictionarySource::new(&dict, &samples);
+    let cached = CachedSource::new(&src);
+    for &n in &[1usize, 4] {
+        runtime::set_threads(n);
+        let plain = LarConfig::new(10).fit_source(&src, &f).unwrap();
+        let memo = LarConfig::new(10).fit_source(&cached, &f).unwrap();
+        assert_paths_bit_identical(&plain, &memo, &format!("CachedSource LAR @ {n} threads"));
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn row_subset_views_match_dense_row_selection() {
+    // Fitting on a RowSubsetSource view must select the same model as
+    // fitting on the materialized `select_rows` sub-matrix.
+    let _guard = THREADS_LOCK.lock().unwrap();
+    runtime::set_threads(1);
+    let (g, f) = matrix_problem();
+    let rows: Vec<usize> = (0..g.rows()).filter(|r| r % 3 != 0).collect();
+    let f_sub: Vec<f64> = rows.iter().map(|&r| f[r]).collect();
+    let view = RowSubsetSource::new(&g, &rows);
+    let dense_sub = g.select_rows(&rows);
+    let via_view = fit_path(Method::Lar, &view, &f_sub, 8).unwrap();
+    let via_dense = fit_path(Method::Lar, &dense_sub, &f_sub, 8).unwrap();
+    assert_paths_same_support_close_coeffs(&via_dense, &via_view, "LAR on row-subset view");
     runtime::set_threads(0);
 }
 
