@@ -102,12 +102,31 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// `/proc/self/status` (`VmHWM`, the kernel's high-water mark).
 ///
 /// Returns `None` when the file or field is unavailable (non-Linux
-/// platforms). Note the value is cumulative over the process lifetime:
-/// in a multi-experiment binary it bounds the *largest* phase so far,
-/// not the current one.
+/// platforms), after noting the fallback once on stderr so a memory
+/// column silently full of `-` is explained. Note the value is
+/// cumulative over the process lifetime: in a multi-experiment binary
+/// it bounds the *largest* phase so far, not the current one.
 pub fn peak_rss_mb() -> Option<f64> {
-    let text = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = text.lines().find(|l| l.starts_with("VmHWM"))?;
+    static FALLBACK_NOTE: std::sync::Once = std::sync::Once::new();
+    let mb = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|text| parse_vmhwm_mb(&text));
+    if mb.is_none() {
+        FALLBACK_NOTE.call_once(|| {
+            eprintln!(
+                "note: peak RSS unavailable (/proc/self/status has no parseable VmHWM); \
+                 memory columns will be omitted"
+            );
+        });
+    }
+    mb
+}
+
+/// Extracts `VmHWM` from `/proc/self/status` text and converts the
+/// kernel's kB figure to MB. Split out from [`peak_rss_mb`] so the
+/// parsing is testable on a canned status snippet.
+fn parse_vmhwm_mb(status_text: &str) -> Option<f64> {
+    let line = status_text.lines().find(|l| l.starts_with("VmHWM"))?;
     let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb / 1024.0)
 }
@@ -377,5 +396,19 @@ mod tests {
         if let Some(mb) = peak_rss_mb() {
             assert!(mb > 0.0, "VmHWM parsed as {mb}");
         }
+    }
+
+    #[test]
+    fn parse_vmhwm_from_canned_status() {
+        let status = "Name:\tbench\nVmPeak:\t  999999 kB\nVmHWM:\t  123456 kB\nVmRSS:\t  100 kB\n";
+        let mb = parse_vmhwm_mb(status).unwrap();
+        assert!(
+            (mb - 120.5625).abs() < 1e-12,
+            "123456 kB should be 120.5625 MB, got {mb}"
+        );
+        // Missing or malformed field → None, not a panic.
+        assert_eq!(parse_vmhwm_mb("Name:\tbench\nVmRSS:\t 100 kB\n"), None);
+        assert_eq!(parse_vmhwm_mb("VmHWM:\tnot-a-number kB\n"), None);
+        assert_eq!(parse_vmhwm_mb(""), None);
     }
 }

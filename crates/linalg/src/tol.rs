@@ -32,7 +32,7 @@ pub const DEFAULT_REL_TOL: f64 = 1e-9;
 #[inline]
 #[must_use]
 pub fn exactly_zero(x: f64) -> bool {
-    // rsm-lint: allow(R2) — definition site: this helper IS the sanctioned exact comparison
+    // Definition site: tol.rs is the one module rsm-lint R2 exempts.
     x == 0.0
 }
 

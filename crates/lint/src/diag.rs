@@ -73,20 +73,22 @@ impl Rule {
                  helpers (exactly_zero/near_zero/approx_eq) to make intent explicit"
             }
             Rule::R3 => {
-                "unwrap()/expect() in a library crate outside #[cfg(test)]: recoverable \
-                 dimension/conditioning errors must surface as Result, not panics"
+                "panic-reachability: an unwrap()/expect()/panic! site in a library \
+                 crate that is reachable from a pub non-test fn (the call chain is \
+                 printed); recoverable dimension/conditioning errors must surface as \
+                 Result, not panics"
             }
             Rule::R4 => {
-                "nondeterminism source (SystemTime::now, thread::current, env reads) in \
-                 non-bench code: only the sanctioned RSM_THREADS entry point may read \
-                 the environment"
+                "nondeterminism taint: a SystemTime/thread::current/env read reachable \
+                 from a pub non-test fn; only the RSM_THREADS shim in crates/runtime \
+                 may read ambient state (the call chain is printed)"
             }
             Rule::R5 => "unsafe code: the workspace is 100% safe Rust and stays that way",
             Rule::R6 => {
-                "design_matrix() call in a library crate: materializes the full K×M \
-                 design matrix (8 GB at K=10^3, M=10^6); solve through AtomSource \
-                 (DictionarySource / CachedSource) instead, or suppress with a reason \
-                 at deliberately-dense sites"
+                "transitive materialization: a design_matrix() call reachable from a \
+                 matrix-free entry front (LarConfig/LassoCdConfig/cross_validate/fit); \
+                 the full K×M matrix is 8 GB at K=10^3, M=10^6 — solve through \
+                 AtomSource (DictionarySource / CachedSource) instead"
             }
             Rule::S0 => "suppression directive without a written reason (or unknown rule id)",
             Rule::S1 => "suppression directive that matched no diagnostic (stale allow)",
@@ -131,19 +133,32 @@ pub struct Diagnostic {
     pub rule: Rule,
     /// Human-readable detail for this occurrence.
     pub message: String,
+    /// For the interprocedural rules (R3/R4/R6): the shortest call
+    /// chain from a reachability root to the function holding the
+    /// violation site, one `key (file:line)` frame per element, root
+    /// first. Empty for local rules.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
-    /// `file:line: severity[rule] message` (clickable span first).
+    /// `file:line: severity[rule] message` (clickable span first),
+    /// followed by one indented `via:` line per call-chain frame.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}:{}: {}[{}] {}",
             self.file,
             self.line,
             self.rule.severity(),
             self.rule,
             self.message
-        )
+        );
+        for (i, frame) in self.chain.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {} {frame}",
+                if i == 0 { "via:" } else { "  ->" }
+            ));
+        }
+        out
     }
 }
 
@@ -175,6 +190,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of suppression directives that matched a diagnostic.
     pub suppressions_used: usize,
+    /// Base git ref when the run was restricted with `--diff` (the
+    /// whole workspace is still parsed; only emission is filtered).
+    pub diff_base: Option<String>,
 }
 
 impl Report {
@@ -189,23 +207,33 @@ impl Report {
             .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     }
 
-    /// Machine-readable JSON document (schema version 1).
+    /// Machine-readable JSON document (schema version 2: adds the
+    /// per-diagnostic `chain` array and the optional `diff_base`).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n");
+        let mut out = String::from("{\n  \"version\": 2,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!(
             "  \"suppressions_used\": {},\n",
             self.suppressions_used
         ));
+        if let Some(base) = &self.diff_base {
+            out.push_str(&format!("  \"diff_base\": \"{}\",\n", json_escape(base)));
+        }
         out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
         out.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
+            let chain = d
+                .chain
+                .iter()
+                .map(|f| format!("\"{}\"", json_escape(f)))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
                 "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
-                 \"severity\": \"{}\", \"message\": \"{}\"}}",
+                 \"severity\": \"{}\", \"message\": \"{}\", \"chain\": [{chain}]}}",
                 json_escape(&d.file),
                 d.line,
                 d.rule,

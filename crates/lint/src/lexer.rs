@@ -23,8 +23,11 @@ pub enum TokenKind {
         /// True for a floating-point literal.
         float: bool,
     },
-    /// String, raw-string, byte-string or char literal.
-    Literal,
+    /// String, raw-string, byte-string or char literal. The raw text
+    /// (quotes/fences included) is preserved so flow-aware rules can
+    /// recognize designated sentinels such as the `"RSM_THREADS"`
+    /// environment key.
+    Literal(String),
     /// A lifetime such as `'a` (kept distinct from char literals).
     Lifetime,
     /// Punctuation. Multi-char operators that the rules care about
@@ -106,6 +109,12 @@ impl Lexer {
         self.out.push(Token { kind, line });
     }
 
+    /// Pushes a [`TokenKind::Literal`] spanning `start..self.pos`.
+    fn push_literal(&mut self, start: usize, line: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Literal(text), line);
+    }
+
     fn run(mut self) -> Vec<Token> {
         while let Some(c) = self.peek(0) {
             let line = self.line;
@@ -164,6 +173,7 @@ impl Lexer {
     }
 
     fn string_literal(&mut self, line: u32) {
+        let start = self.pos;
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             match c {
@@ -174,13 +184,14 @@ impl Lexer {
                 _ => {}
             }
         }
-        self.push(TokenKind::Literal, line);
+        self.push_literal(start, line);
     }
 
     /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
     /// Returns false (consuming nothing) when the `r`/`b` is just the
     /// start of an ordinary identifier.
     fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let start = self.pos;
         let mut ahead = 1;
         if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
             ahead = 2;
@@ -205,7 +216,7 @@ impl Lexer {
                         _ => {}
                     }
                 }
-                self.push(TokenKind::Literal, line);
+                self.push_literal(start, line);
                 return true;
             }
             _ => return false,
@@ -231,7 +242,7 @@ impl Lexer {
                 break;
             }
         }
-        self.push(TokenKind::Literal, line);
+        self.push_literal(start, line);
         true
     }
 
@@ -254,6 +265,7 @@ impl Lexer {
             }
             self.push(TokenKind::Lifetime, line);
         } else {
+            let start = self.pos;
             self.bump(); // opening quote
             while let Some(c) = self.bump() {
                 match c {
@@ -264,7 +276,7 @@ impl Lexer {
                     _ => {}
                 }
             }
-            self.push(TokenKind::Literal, line);
+            self.push_literal(start, line);
         }
     }
 
@@ -413,14 +425,34 @@ mod tests {
     #[test]
     fn strings_chars_lifetimes() {
         let ks = kinds(r#"let s = "a \" b"; let c = 'x'; fn f<'a>() {}"#);
-        assert!(ks.contains(&TokenKind::Literal));
+        assert!(ks.iter().any(|k| matches!(k, TokenKind::Literal(_))));
         assert!(ks.contains(&TokenKind::Lifetime));
         // Raw string with fence and a fake comment inside.
         let ks = kinds(r###"let s = r#"// not a comment "quote" here"#;"###);
         assert!(!ks.iter().any(|k| matches!(k, TokenKind::Comment(_))));
         // Byte string and byte char.
         let ks = kinds(r#"b"bytes" b'x'"#);
-        assert_eq!(ks, vec![TokenKind::Literal, TokenKind::Literal]);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Literal("b\"bytes\"".into()),
+                TokenKind::Literal("b'x'".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn literal_text_is_preserved() {
+        // Flow-aware R4 keys on the RSM_THREADS sentinel inside the
+        // sanctioned runtime shim, so the raw text must survive lexing.
+        let ks = kinds(r#"std::env::var("RSM_THREADS")"#);
+        assert!(ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Literal(s) if s.contains("RSM_THREADS"))));
+        let ks = kinds(r##"let s = r#"fenced RSM_THREADS"#;"##);
+        assert!(ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Literal(s) if s.contains("RSM_THREADS"))));
     }
 
     #[test]

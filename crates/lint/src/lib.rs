@@ -10,11 +10,17 @@
 //! | Rule | Invariant |
 //! |------|-----------|
 //! | R1   | no unordered-map iteration in result-affecting code |
-//! | R2   | no exact float `==`/`!=` outside designated tolerance helpers |
-//! | R3   | no `unwrap()`/`expect()` in library crates outside tests |
-//! | R4   | no nondeterminism sources (wall clock, thread identity, env) |
+//! | R2   | no exact float `==`/`!=` outside the `tol` helper module |
+//! | R3   | no panic site (`unwrap`/`expect`/`panic!`) reachable from a `pub` fn in a library crate |
+//! | R4   | no nondeterminism read (wall clock, thread identity, env) reachable from a `pub` fn, except the `RSM_THREADS` shim |
 //! | R5   | no `unsafe` anywhere |
-//! | R6   | no dense `design_matrix()` materialization in solver-facing code |
+//! | R6   | no path from a matrix-free entry front to `design_matrix()` |
+//!
+//! R3/R4/R6 are **interprocedural** (v2): every file is item-parsed
+//! ([`parse`]), a workspace call graph is built ([`graph`]), and a
+//! diagnostic fires only when a violation site is *reachable* from the
+//! rule's root set — with the offending call chain printed. R1/R2/R5
+//! remain purely lexical.
 //!
 //! Violations are suppressed inline with
 //! `// rsm-lint: allow(R#) — reason` and every suppression must carry
@@ -28,13 +34,18 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod suppress;
 
 pub use diag::{Diagnostic, Report, Rule, Severity};
+pub use graph::{CallGraph, Unit};
 pub use rules::{FileClass, LIB_CRATES};
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// Directories under the workspace root that `check` scans by default.
@@ -43,13 +54,14 @@ pub const DEFAULT_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 3] = ["target", "fixtures", ".git"];
 
-/// Lints the whole workspace rooted at `root` (the directory holding
-/// the workspace `Cargo.toml`).
+/// Lexes and item-parses every `.rs` file under the workspace scan
+/// roots into [`Unit`]s — phase one of the two-phase pipeline. The
+/// call graph and all rules run over the full unit set.
 ///
 /// # Errors
 ///
 /// Returns a message if a scan root exists but cannot be read.
-pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+pub fn workspace_units(root: &Path) -> Result<Vec<Unit>, String> {
     let mut files = Vec::new();
     for sub in DEFAULT_ROOTS {
         let dir = root.join(sub);
@@ -58,24 +70,24 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         }
     }
     files.sort();
-    let mut report = Report::default();
+    let mut units = Vec::with_capacity(files.len());
     for path in &files {
         let rel = relative_label(root, path);
         let class = FileClass::from_path(&rel);
-        lint_one(path, &rel, &class, &mut report)?;
+        units.push(read_unit(path, rel, class)?);
     }
-    report.sort();
-    Ok(report)
+    Ok(units)
 }
 
-/// Lints explicitly named files/directories. Every file is treated as
-/// library-crate production code (see [`FileClass::lib_context`]), so
-/// fixtures exercise all rules wherever they live.
+/// Parses explicitly named files/directories into [`Unit`]s, each
+/// treated as library-crate production code (see
+/// [`FileClass::lib_context`]) so fixtures exercise all rules
+/// wherever they live.
 ///
 /// # Errors
 ///
 /// Returns a message if a path cannot be read.
-pub fn lint_paths(paths: &[PathBuf]) -> Result<Report, String> {
+pub fn path_units(paths: &[PathBuf]) -> Result<Vec<Unit>, String> {
     let mut files = Vec::new();
     for p in paths {
         if p.is_dir() {
@@ -85,14 +97,83 @@ pub fn lint_paths(paths: &[PathBuf]) -> Result<Report, String> {
         }
     }
     files.sort();
-    let mut report = Report::default();
-    let class = FileClass::lib_context();
+    let mut units = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path.to_string_lossy().replace('\\', "/");
-        lint_one(path, &rel, &class, &mut report)?;
+        units.push(read_unit(path, rel, FileClass::lib_context())?);
     }
-    report.sort();
+    Ok(units)
+}
+
+/// Lints the whole workspace rooted at `root` (the directory holding
+/// the workspace `Cargo.toml`).
+///
+/// # Errors
+///
+/// Returns a message if a scan root exists but cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    Ok(rules::lint_units(&workspace_units(root)?, |_| true))
+}
+
+/// Lints the workspace but **emits** diagnostics only for files
+/// changed relative to the git ref `base` (plus untracked files). The
+/// whole workspace is still parsed and the full call graph built, so
+/// every emitted diagnostic is identical to what a full run would
+/// report for that file — `--diff` narrows output, never meaning.
+///
+/// # Errors
+///
+/// Returns a message if the tree cannot be read or `git` fails.
+pub fn lint_workspace_diff(root: &Path, base: &str) -> Result<Report, String> {
+    let changed = git_changed_files(root, base)?;
+    let mut report = rules::lint_units(&workspace_units(root)?, |rel| changed.contains(rel));
+    report.diff_base = Some(base.to_string());
     Ok(report)
+}
+
+/// Lints explicitly named files/directories (fixture/ad-hoc mode).
+///
+/// # Errors
+///
+/// Returns a message if a path cannot be read.
+pub fn lint_paths(paths: &[PathBuf]) -> Result<Report, String> {
+    Ok(rules::lint_units(&path_units(paths)?, |_| true))
+}
+
+/// Workspace-relative `.rs` files changed vs `base` (committed or
+/// staged changes via `git diff --name-only`, plus untracked files via
+/// `git ls-files --others`).
+///
+/// # Errors
+///
+/// Returns a message if `git` cannot be spawned or reports failure.
+pub fn git_changed_files(root: &Path, base: &str) -> Result<BTreeSet<String>, String> {
+    let mut changed = BTreeSet::new();
+    for args in [
+        vec!["diff", "--name-only", base, "--"],
+        vec!["ls-files", "--others", "--exclude-standard"],
+    ] {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(&args)
+            .output()
+            .map_err(|e| format!("cannot run git: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            let rel = line.trim().replace('\\', "/");
+            if rel.ends_with(".rs") {
+                changed.insert(rel);
+            }
+        }
+    }
+    Ok(changed)
 }
 
 /// Walks upward from `start` to find the workspace root (a directory
@@ -111,14 +192,10 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
-fn lint_one(path: &Path, rel: &str, class: &FileClass, report: &mut Report) -> Result<(), String> {
+fn read_unit(path: &Path, rel: String, class: FileClass) -> Result<Unit, String> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let (diags, used) = rules::lint_source(rel, &src, class);
-    report.diagnostics.extend(diags);
-    report.suppressions_used += used;
-    report.files_scanned += 1;
-    Ok(())
+    Ok(Unit::new(rel, &src, class))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {

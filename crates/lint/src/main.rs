@@ -1,17 +1,25 @@
 //! `rsm-lint` command-line entry point.
 //!
 //! ```text
-//! rsm-lint check [--json] [--out FILE] [PATH...]
+//! rsm-lint check [--format human|json|sarif] [--json] [--out FILE]
+//!                [--sarif-out FILE] [--diff BASE] [PATH...]
+//! rsm-lint graph [PATH...]
 //! rsm-lint rules [--json]
 //! ```
 //!
 //! `check` with no paths lints the whole workspace (found by walking
 //! up from the current directory); with paths it lints exactly those
 //! files/directories, treating them as library-crate production code.
+//! `--diff BASE` still parses the whole workspace (the call graph is
+//! always global) but only emits diagnostics for files changed vs the
+//! git ref. `graph` prints the deterministic call-graph snapshot.
 //! Exit status: 0 clean, 1 diagnostics reported, 2 usage/IO error.
 
 use rsm_lint::diag::SOURCE_RULES;
-use rsm_lint::{diag, find_workspace_root, lint_paths, lint_workspace};
+use rsm_lint::{
+    diag, find_workspace_root, lint_paths, lint_workspace, lint_workspace_diff, path_units, sarif,
+    workspace_units, CallGraph,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -36,14 +44,22 @@ const USAGE: &str = "\
 rsm-lint — static analysis for determinism and numerical robustness
 
 USAGE:
-  rsm-lint check [--json] [--out FILE] [PATH...]
+  rsm-lint check [--format human|json|sarif] [--json] [--out FILE]
+                 [--sarif-out FILE] [--diff BASE] [PATH...]
+  rsm-lint graph [PATH...]
   rsm-lint rules [--json]
 
 check exits 0 when clean, 1 on any unsuppressed diagnostic, 2 on
 usage/IO errors. With no PATH, the enclosing cargo workspace is
 scanned; explicit paths are linted as library-crate production code.
---json prints the machine-readable report to stdout; --out writes the
-JSON report to FILE while keeping the human listing on stdout.
+--format picks the stdout rendering (--json is shorthand for
+--format json); --out writes the JSON report to FILE and --sarif-out
+writes a SARIF 2.1.0 document to FILE, both while keeping the chosen
+stdout format. --diff BASE parses the full workspace (reachability is
+always global) but emits diagnostics only for files changed vs the
+git ref BASE, plus untracked files.
+graph prints the deterministic workspace call-graph snapshot used by
+the interprocedural rules (R3/R4/R6).
 Suppress a finding with `// rsm-lint: allow(R#) — reason` (the reason
 is mandatory and stale directives are themselves reported).
 ";
@@ -52,16 +68,30 @@ fn run(args: &[String]) -> Result<bool, String> {
     let Some(cmd) = args.first() else {
         return Err(format!("missing subcommand\n\n{USAGE}"));
     };
-    let mut json = false;
+    let mut format: Option<String> = None;
     let mut out_file: Option<String> = None;
+    let mut sarif_file: Option<String> = None;
+    let mut diff_base: Option<String> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => format = Some("json".into()),
+            "--format" => {
+                let f = it.next().ok_or("--format requires human|json|sarif")?;
+                format = Some(f.clone());
+            }
             "--out" => {
                 let f = it.next().ok_or("--out requires a file argument")?;
                 out_file = Some(f.clone());
+            }
+            "--sarif-out" => {
+                let f = it.next().ok_or("--sarif-out requires a file argument")?;
+                sarif_file = Some(f.clone());
+            }
+            "--diff" => {
+                let b = it.next().ok_or("--diff requires a git ref argument")?;
+                diff_base = Some(b.clone());
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -73,10 +103,24 @@ fn run(args: &[String]) -> Result<bool, String> {
             p => paths.push(PathBuf::from(p)),
         }
     }
+    let format = format.unwrap_or_else(|| "human".into());
+    if !matches!(format.as_str(), "human" | "json" | "sarif") {
+        return Err(format!("unknown format '{format}' (human|json|sarif)"));
+    }
     match cmd.as_str() {
-        "check" => cmd_check(json, out_file.as_deref(), &paths),
+        "check" => cmd_check(
+            &format,
+            out_file.as_deref(),
+            sarif_file.as_deref(),
+            diff_base.as_deref(),
+            &paths,
+        ),
+        "graph" => {
+            cmd_graph(&paths)?;
+            Ok(true)
+        }
         "rules" => {
-            cmd_rules(json);
+            cmd_rules(format == "json");
             Ok(true)
         }
         "help" | "--help" | "-h" => {
@@ -87,24 +131,50 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
 }
 
-fn cmd_check(json: bool, out_file: Option<&str>, paths: &[PathBuf]) -> Result<bool, String> {
-    let report = if paths.is_empty() {
-        let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
-        let root = find_workspace_root(&cwd)
-            .ok_or("no enclosing cargo workspace found (run from the repo)")?;
-        lint_workspace(&root)?
-    } else {
-        lint_paths(paths)?
+fn workspace_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    find_workspace_root(&cwd)
+        .ok_or_else(|| "no enclosing cargo workspace found (run from the repo)".into())
+}
+
+fn cmd_check(
+    format: &str,
+    out_file: Option<&str>,
+    sarif_file: Option<&str>,
+    diff_base: Option<&str>,
+    paths: &[PathBuf],
+) -> Result<bool, String> {
+    let report = match (paths.is_empty(), diff_base) {
+        (true, None) => lint_workspace(&workspace_root()?)?,
+        (true, Some(base)) => lint_workspace_diff(&workspace_root()?, base)?,
+        (false, None) => lint_paths(paths)?,
+        (false, Some(_)) => {
+            return Err("--diff applies to workspace runs; drop the explicit paths".into())
+        }
     };
     if let Some(f) = out_file {
         std::fs::write(f, report.to_json()).map_err(|e| format!("cannot write {f}: {e}"))?;
     }
-    if json {
-        print!("{}", report.to_json());
-    } else {
-        print!("{}", report.render());
+    if let Some(f) = sarif_file {
+        std::fs::write(f, sarif::to_sarif(&report))
+            .map_err(|e| format!("cannot write {f}: {e}"))?;
+    }
+    match format {
+        "json" => print!("{}", report.to_json()),
+        "sarif" => print!("{}", sarif::to_sarif(&report)),
+        _ => print!("{}", report.render()),
     }
     Ok(report.is_clean())
+}
+
+fn cmd_graph(paths: &[PathBuf]) -> Result<(), String> {
+    let units = if paths.is_empty() {
+        workspace_units(&workspace_root()?)?
+    } else {
+        path_units(paths)?
+    };
+    print!("{}", CallGraph::build(&units).snapshot());
+    Ok(())
 }
 
 fn cmd_rules(json: bool) {

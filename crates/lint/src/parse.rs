@@ -1,0 +1,567 @@
+//! A recursive-descent **item parser** on top of [`crate::lexer`].
+//!
+//! This is the layer that turns rsm-lint from a per-line token matcher
+//! into a flow-aware analysis: it recovers the *item tree* of a file —
+//! functions (with their bodies as token ranges), `impl`/`trait`
+//! blocks, nested modules, visibility, and `#[cfg(test)]`/`#[test]`
+//! gating — without building a full AST. Expressions stay opaque token
+//! slices; the call-graph layer ([`crate::graph`]) scans them for call
+//! and violation sites.
+//!
+//! Deliberate approximations (documented in DESIGN.md § Call-graph IR):
+//!
+//! - Nested `fn` items are folded into their enclosing function's body
+//!   (their calls are attributed to the outer function).
+//! - Methods of `impl Trait for Type` blocks and of `trait` blocks are
+//!   treated as **public**: they are callable through the trait object
+//!   or bound even when the `fn` itself carries no `pub`.
+//! - `pub(crate)`/`pub(super)` count as restricted (not externally
+//!   reachable entry points), but remain reachable *through* public
+//!   callers like any private function.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Item visibility as written (trait-context publicness is a separate
+/// flag on [`FnItem`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// Bare `pub`.
+    Public,
+    /// `pub(crate)` / `pub(super)` / `pub(in ...)`.
+    Restricted,
+    /// No visibility keyword.
+    Private,
+}
+
+/// One function item recovered from a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `mod`/`impl`/`trait` name segments, outermost first
+    /// (file-level module segments are prepended by the graph layer).
+    pub path: Vec<String>,
+    /// Written visibility of the `fn` itself.
+    pub vis: Visibility,
+    /// Inside `#[cfg(test)]`-gated code or carrying `#[test]`.
+    pub is_test: bool,
+    /// Defined inside an `impl` or `trait` block.
+    pub is_method: bool,
+    /// Inside `impl Trait for Type` or a `trait` declaration — the
+    /// function is part of a trait surface and treated as public.
+    pub in_trait: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range `[start, end)` of the body's brace block in the
+    /// **original** (comment-inclusive) token stream; `None` for
+    /// body-less trait method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// Whether the function is an externally reachable entry point:
+    /// written `pub`, or part of a trait surface.
+    pub fn is_entry_visible(&self) -> bool {
+        self.vis == Visibility::Public || self.in_trait
+    }
+}
+
+/// Parses the item tree of one file's token stream.
+pub fn parse_items(tokens: &[Token]) -> Vec<FnItem> {
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::Comment(_)))
+        .collect();
+    let mut p = Parser {
+        code,
+        out: Vec::new(),
+    };
+    let mut i = 0usize;
+    p.scope(&mut i, &mut Vec::new(), false, None);
+    p.out
+}
+
+/// Scans the attribute starting at the `[` **code-token** index of
+/// `code`; returns the index one past the matching `]` and whether the
+/// attribute gates test-only code (`#[test]`, `#[cfg(test)]`,
+/// `#[cfg(any(test, ..))]` — but not `#[cfg(not(test))]` and not
+/// `#[cfg_attr(test, ..)]`).
+pub(crate) fn scan_attribute_code(code: &[(usize, &Token)], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut j = open;
+    while j < code.len() {
+        let t = code[j].1;
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if let Some(id) = t.ident() {
+            idents.push(id);
+        }
+        j += 1;
+    }
+    let is_test = idents == ["test"]
+        || (idents.contains(&"cfg")
+            && idents.contains(&"test")
+            && !idents.contains(&"not")
+            && !idents.contains(&"cfg_attr"));
+    (j, is_test)
+}
+
+/// Context of the innermost `impl`/`trait` block.
+#[derive(Debug, Clone)]
+struct ImplCtx {
+    type_name: String,
+    trait_surface: bool,
+}
+
+struct Parser<'a> {
+    /// Comment-free tokens paired with their original indices.
+    code: Vec<(usize, &'a Token)>,
+    out: Vec<FnItem>,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, i: usize) -> Option<&'a Token> {
+        self.code.get(i).map(|&(_, t)| t)
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&'a str> {
+        self.tok(i).and_then(Token::ident)
+    }
+
+    /// Skips a balanced `<...>` group starting at index `i` (which must
+    /// point at `<`); returns the index one past the matching `>`.
+    fn skip_angles(&self, mut i: usize) -> usize {
+        let mut depth = 0usize;
+        while let Some(t) = self.tok(i) {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            } else if t.is_punct("(") || t.is_punct("{") {
+                // Malformed / const-generic expression; bail out rather
+                // than swallowing the file.
+                return i;
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Skips a balanced delimiter group starting at index `i` (which
+    /// must point at `open`); returns the index one past the match.
+    fn skip_group(&self, mut i: usize, open: &str, close: &str) -> usize {
+        let mut depth = 0usize;
+        while let Some(t) = self.tok(i) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Parses items until the scope's closing `}` (consumed) or EOF.
+    fn scope(
+        &mut self,
+        i: &mut usize,
+        path: &mut Vec<String>,
+        in_test: bool,
+        impl_ctx: Option<&ImplCtx>,
+    ) {
+        let mut pending_test = false;
+        let mut pending_vis = Visibility::Private;
+        while let Some(t) = self.tok(*i) {
+            if t.is_punct("}") {
+                *i += 1;
+                return;
+            }
+            if t.is_punct("#") && self.tok(*i + 1).is_some_and(|t| t.is_punct("[")) {
+                let (end, is_test) = scan_attribute_code(&self.code, *i + 1);
+                pending_test |= is_test;
+                *i = end;
+                continue;
+            }
+            match t.ident() {
+                Some("pub") => {
+                    *i += 1;
+                    if self.tok(*i).is_some_and(|t| t.is_punct("(")) {
+                        *i = self.skip_group(*i, "(", ")");
+                        pending_vis = Visibility::Restricted;
+                    } else {
+                        pending_vis = Visibility::Public;
+                    }
+                    continue;
+                }
+                Some("mod") if self.ident_at(*i + 1).is_some() => {
+                    let name = self.ident_at(*i + 1).unwrap_or_default().to_string();
+                    *i += 2;
+                    if self.tok(*i).is_some_and(|t| t.is_punct("{")) {
+                        *i += 1;
+                        path.push(name);
+                        self.scope(i, path, in_test || pending_test, None);
+                        path.pop();
+                    } else if self.tok(*i).is_some_and(|t| t.is_punct(";")) {
+                        *i += 1;
+                    }
+                    pending_test = false;
+                    pending_vis = Visibility::Private;
+                    continue;
+                }
+                Some("impl") => {
+                    let item_test = in_test || pending_test;
+                    pending_test = false;
+                    pending_vis = Visibility::Private;
+                    if let Some(ctx) = self.impl_header(i) {
+                        path.push(ctx.type_name.clone());
+                        self.scope(i, path, item_test, Some(&ctx));
+                        path.pop();
+                    }
+                    continue;
+                }
+                Some("trait") if self.ident_at(*i + 1).is_some() => {
+                    let name = self.ident_at(*i + 1).unwrap_or_default().to_string();
+                    let item_test = in_test || pending_test;
+                    pending_test = false;
+                    pending_vis = Visibility::Private;
+                    *i += 2;
+                    // Skip bounds/generics/where clause up to the body.
+                    while let Some(t) = self.tok(*i) {
+                        if t.is_punct("{") || t.is_punct(";") {
+                            break;
+                        }
+                        if t.is_punct("<") {
+                            *i = self.skip_angles(*i);
+                        } else if t.is_punct("(") {
+                            *i = self.skip_group(*i, "(", ")");
+                        } else {
+                            *i += 1;
+                        }
+                    }
+                    if self.tok(*i).is_some_and(|t| t.is_punct("{")) {
+                        *i += 1;
+                        let ctx = ImplCtx {
+                            type_name: name.clone(),
+                            trait_surface: true,
+                        };
+                        path.push(name);
+                        self.scope(i, path, item_test, Some(&ctx));
+                        path.pop();
+                    } else if self.tok(*i).is_some_and(|t| t.is_punct(";")) {
+                        *i += 1;
+                    }
+                    continue;
+                }
+                Some("fn") if self.ident_at(*i + 1).is_some() => {
+                    self.fn_item(i, path, pending_vis, in_test || pending_test, impl_ctx);
+                    pending_test = false;
+                    pending_vis = Visibility::Private;
+                    continue;
+                }
+                Some("macro_rules") => {
+                    // `macro_rules! name { ... }` — opaque; skip it so
+                    // template tokens don't masquerade as items.
+                    *i += 1;
+                    while let Some(t) = self.tok(*i) {
+                        if t.is_punct("{") {
+                            *i = self.skip_group(*i, "{", "}");
+                            break;
+                        }
+                        if t.is_punct(";") {
+                            *i += 1;
+                            break;
+                        }
+                        *i += 1;
+                    }
+                    pending_test = false;
+                    pending_vis = Visibility::Private;
+                    continue;
+                }
+                _ => {}
+            }
+            if t.is_punct("{") {
+                // struct/enum/union bodies, const initializers, ...:
+                // recurse generically (no fn items hide in well-formed
+                // ones, and recursion keeps brace tracking exact).
+                *i += 1;
+                self.scope(i, path, in_test || pending_test, impl_ctx);
+                pending_test = false;
+                pending_vis = Visibility::Private;
+                continue;
+            }
+            if t.is_punct(";") {
+                pending_test = false;
+                pending_vis = Visibility::Private;
+            }
+            *i += 1;
+        }
+    }
+
+    /// Parses an `impl` header starting at the `impl` token; leaves `i`
+    /// one past the opening `{` and returns the context, or `None` for
+    /// body-less forms.
+    fn impl_header(&mut self, i: &mut usize) -> Option<ImplCtx> {
+        *i += 1; // `impl`
+        if self.tok(*i).is_some_and(|t| t.is_punct("<")) {
+            *i = self.skip_angles(*i);
+        }
+        let mut ty: Vec<String> = Vec::new();
+        let mut trait_surface = false;
+        while let Some(t) = self.tok(*i) {
+            if t.is_punct("{") {
+                *i += 1;
+                let type_name = ty.last().cloned().unwrap_or_else(|| "?".to_string());
+                return Some(ImplCtx {
+                    type_name,
+                    trait_surface,
+                });
+            }
+            if t.is_punct(";") {
+                *i += 1;
+                return None;
+            }
+            match t.ident() {
+                Some("for") if !self.tok(*i + 1).is_some_and(|t| t.is_punct("<")) => {
+                    // `impl Trait for Type` — the trait path parsed so
+                    // far is discarded; the self type follows. (A
+                    // `for<'a>` HRTB keeps the current path.)
+                    trait_surface = true;
+                    ty.clear();
+                    *i += 1;
+                    continue;
+                }
+                Some("where") => {
+                    // Scan the where clause up to the body.
+                    while let Some(t) = self.tok(*i) {
+                        if t.is_punct("{") || t.is_punct(";") {
+                            break;
+                        }
+                        if t.is_punct("<") {
+                            *i = self.skip_angles(*i);
+                        } else if t.is_punct("(") {
+                            *i = self.skip_group(*i, "(", ")");
+                        } else {
+                            *i += 1;
+                        }
+                    }
+                    continue;
+                }
+                Some(id) => {
+                    ty.push(id.to_string());
+                    *i += 1;
+                    continue;
+                }
+                None => {}
+            }
+            if t.is_punct("<") {
+                *i = self.skip_angles(*i);
+            } else if t.is_punct("(") {
+                *i = self.skip_group(*i, "(", ")");
+            } else {
+                *i += 1;
+            }
+        }
+        None
+    }
+
+    /// Parses one `fn` item starting at the `fn` token.
+    fn fn_item(
+        &mut self,
+        i: &mut usize,
+        path: &[String],
+        vis: Visibility,
+        is_test: bool,
+        impl_ctx: Option<&ImplCtx>,
+    ) {
+        let line = self.tok(*i).map_or(0, |t| t.line);
+        *i += 1; // `fn`
+        let name = self.ident_at(*i).unwrap_or_default().to_string();
+        *i += 1;
+        if self.tok(*i).is_some_and(|t| t.is_punct("<")) {
+            *i = self.skip_angles(*i);
+        }
+        if self.tok(*i).is_some_and(|t| t.is_punct("(")) {
+            *i = self.skip_group(*i, "(", ")");
+        }
+        // Signature tail (return type, where clause) up to body or `;`.
+        let mut body = None;
+        while let Some(t) = self.tok(*i) {
+            if t.is_punct("{") {
+                let start_orig = self.code[*i].0;
+                let after = self.skip_group(*i, "{", "}");
+                let end_orig = self
+                    .code
+                    .get(after.saturating_sub(1))
+                    .map_or(start_orig + 1, |&(o, _)| o + 1);
+                body = Some((start_orig, end_orig));
+                *i = after;
+                break;
+            }
+            if t.is_punct(";") {
+                *i += 1;
+                break;
+            }
+            if t.is_punct("}") {
+                break; // malformed; let the enclosing scope close
+            }
+            if t.is_punct("<") {
+                *i = self.skip_angles(*i);
+            } else if t.is_punct("(") {
+                *i = self.skip_group(*i, "(", ")");
+            } else {
+                *i += 1;
+            }
+        }
+        self.out.push(FnItem {
+            name,
+            path: path.to_vec(),
+            vis,
+            is_test,
+            is_method: impl_ctx.is_some(),
+            in_trait: impl_ctx.is_some_and(|c| c.trait_surface),
+            line,
+            body,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn free_fns_with_visibility() {
+        let fs = items("pub fn a() {}\nfn b() {}\npub(crate) fn c() {}\n");
+        let names: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(fs[0].vis, Visibility::Public);
+        assert_eq!(fs[1].vis, Visibility::Private);
+        assert_eq!(fs[2].vis, Visibility::Restricted);
+        assert!(fs.iter().all(|f| !f.is_method && !f.is_test));
+        assert!(fs.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn modules_nest_and_gate_tests() {
+        let src = "mod outer {\n  pub fn f() {}\n  mod inner { fn g() {} }\n}\n\
+                   #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() {}\n  fn helper() {}\n}\n";
+        let fs = items(src);
+        let f = fs.iter().find(|f| f.name == "f").expect("f");
+        assert_eq!(f.path, vec!["outer"]);
+        assert!(!f.is_test);
+        let g = fs.iter().find(|f| f.name == "g").expect("g");
+        assert_eq!(g.path, vec!["outer", "inner"]);
+        // Everything inside the #[cfg(test)] mod is test code.
+        assert!(fs.iter().find(|f| f.name == "t").expect("t").is_test);
+        assert!(fs.iter().find(|f| f.name == "helper").expect("h").is_test);
+    }
+
+    #[test]
+    fn bare_test_attribute_marks_fn() {
+        let fs = items("#[test]\nfn t() {}\nfn prod() {}\n");
+        assert!(fs[0].is_test);
+        assert!(!fs[1].is_test);
+    }
+
+    #[test]
+    fn inherent_impl_methods() {
+        let src = "impl Matrix {\n  pub fn rows(&self) -> usize { self.r }\n  \
+                   fn check(&self) {}\n}\n";
+        let fs = items(src);
+        assert_eq!(fs.len(), 2);
+        assert!(fs.iter().all(|f| f.is_method && !f.in_trait));
+        assert_eq!(fs[0].path, vec!["Matrix"]);
+        assert_eq!(fs[0].vis, Visibility::Public);
+        assert!(fs[0].is_entry_visible());
+        assert!(!fs[1].is_entry_visible());
+    }
+
+    #[test]
+    fn trait_impl_methods_are_trait_surface() {
+        let src = "impl<S: Clone> AtomSource for Cached<S> {\n  fn atom(&self, j: usize) {}\n}\n\
+                   impl fmt::Display for Matrix {\n  fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }\n}\n";
+        let fs = items(src);
+        assert_eq!(fs.len(), 2);
+        assert!(fs[0].in_trait && fs[0].is_entry_visible());
+        assert_eq!(fs[0].path, vec!["Cached"]);
+        assert_eq!(fs[1].path, vec!["Matrix"]);
+        assert!(fs[1].in_trait);
+    }
+
+    #[test]
+    fn trait_decl_default_and_required_methods() {
+        let src = "pub trait Source {\n  fn len(&self) -> usize;\n  \
+                   fn is_empty(&self) -> bool { self.len() == 0 }\n}\n";
+        let fs = items(src);
+        assert_eq!(fs.len(), 2);
+        assert!(fs[0].body.is_none(), "required method has no body");
+        assert!(fs[1].body.is_some(), "default method has a body");
+        assert!(fs.iter().all(|f| f.in_trait && f.is_entry_visible()));
+        assert_eq!(fs[0].path, vec!["Source"]);
+    }
+
+    #[test]
+    fn generics_where_clauses_and_fn_pointers() {
+        let src = "pub fn fit<S: AtomSource + ?Sized>(src: &S) -> Result<Vec<f64>, E>\n\
+                   where S: Sync {\n  let cb: fn(usize) -> f64 = helper;\n  cb(3);\n}\n";
+        let fs = items(src);
+        // The `fn(usize) -> f64` pointer type must not produce an item.
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].name, "fit");
+        assert!(fs[0].body.is_some());
+    }
+
+    #[test]
+    fn nested_fns_fold_into_parent_body() {
+        let src = "pub fn outer() {\n  fn inner() {}\n  inner();\n}\nfn after() {}\n";
+        let fs = items(src);
+        let names: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "after"]);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_production() {
+        let fs = items("#[cfg(not(test))]\nfn prod() {}\n");
+        assert!(!fs[0].is_test);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_opaque() {
+        let src = "macro_rules! m {\n  () => { fn fake() {} };\n}\npub fn real() {}\n";
+        let fs = items(src);
+        let names: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn body_ranges_cover_the_brace_block() {
+        let toks = lex("fn f() { a.b(); }\nfn g() {}");
+        let fs = parse_items(&toks);
+        let (s, e) = fs[0].body.expect("body");
+        assert!(toks[s].is_punct("{"));
+        assert!(toks[e - 1].is_punct("}"));
+        // g's body does not overlap f's.
+        let (s2, _) = fs[1].body.expect("body");
+        assert!(s2 >= e);
+    }
+}

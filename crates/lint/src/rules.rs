@@ -1,13 +1,20 @@
-//! The rule engine: classifies a file, walks its token stream, and
-//! reports R1–R6 findings (minus suppressed ones), then audits the
-//! suppressions themselves (S0/S1).
+//! The rule engine, v2: a **local pass** (R1/R2/R5, still purely
+//! lexical) plus three **interprocedural passes** (R3/R4/R6) driven by
+//! the workspace call graph in [`crate::graph`].
+//!
+//! The pipeline is two-phase: every file is lexed and item-parsed into
+//! a [`Unit`] first, the call graph is built over the *whole* unit set,
+//! and only then do rules run. This is what lets `--diff` restrict
+//! which files *emit* diagnostics without changing what any diagnostic
+//! *means* — reachability is always computed on the full workspace.
 
 use crate::diag::{Diagnostic, Rule};
-use crate::lexer::{lex, Token, TokenKind};
+use crate::graph::{CallGraph, Unit};
+use crate::lexer::{Token, TokenKind};
 use crate::suppress::SuppressionSet;
 
-/// Library crates where `unwrap()`/`expect()` must not appear outside
-/// test code (rule R3). Binaries (`cli`, `lint`) and the benchmark
+/// Library crates where panic sites must not be reachable from public
+/// entry points (rule R3). Binaries (`cli`, `lint`) and the benchmark
 /// harness may panic on their own top-level errors.
 pub const LIB_CRATES: [&str; 8] = [
     "core",
@@ -23,8 +30,12 @@ pub const LIB_CRATES: [&str; 8] = [
 ];
 
 /// Crates whose whole purpose is wall-clock measurement; rule R4
-/// (nondeterminism sources) does not apply there.
+/// (nondeterminism taint) does not apply there.
 pub const BENCH_CRATES: [&str; 1] = ["bench"];
+
+/// The one module allowed to spell exact float comparisons: the
+/// tolerance helpers themselves. Rule R2 does not apply to it.
+pub const TOL_MODULE: &str = "crates/linalg/src/tol.rs";
 
 /// How a file is treated by crate- and location-sensitive rules.
 #[derive(Debug, Clone)]
@@ -35,6 +46,10 @@ pub struct FileClass {
     /// File lives under a `tests/`, `benches/` or `examples/`
     /// directory: R1–R4 treat it as test code.
     pub is_test_file: bool,
+    /// Explicit-path mode (fixtures, ad-hoc runs): rules that key on
+    /// workspace layout (the `RSM_THREADS` shim's crate check) are
+    /// relaxed so fixtures can exercise them anywhere on disk.
+    pub explicit: bool,
 }
 
 impl FileClass {
@@ -52,6 +67,7 @@ impl FileClass {
         FileClass {
             crate_name,
             is_test_file,
+            explicit: false,
         }
     }
 
@@ -62,6 +78,7 @@ impl FileClass {
         FileClass {
             crate_name: Some("linalg".to_string()),
             is_test_file: false,
+            explicit: true,
         }
     }
 
@@ -78,27 +95,137 @@ impl FileClass {
     }
 }
 
-/// Lints one file's source text. `file` is the label used in
-/// diagnostics (workspace-relative path).
+/// Lints a full unit set: local rules per file, interprocedural rules
+/// over the shared call graph, then per-file suppression filtering and
+/// S0/S1 audits. `emit` decides which files' diagnostics (and
+/// suppression audits) make it into the report — `--diff` passes a
+/// changed-file filter here; a full run passes `|_| true`.
+pub fn lint_units<F: Fn(&str) -> bool>(units: &[Unit], emit: F) -> crate::diag::Report {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for unit in units {
+        local_pass(unit, &mut raw);
+    }
+
+    let graph = CallGraph::build(units);
+    let reach_pub = graph.reach(|n| n.is_entry);
+    let reach_front = graph.reach(|n| n.is_front);
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        if node.is_test {
+            continue;
+        }
+        let class = &units[node.unit].class;
+        let rel = &units[node.unit].rel;
+
+        // R3v2: panic sites reachable from a public entry point.
+        if class.is_lib_crate() && reach_pub[ni].yes() && !node.panic_sites.is_empty() {
+            let chain = graph.chain(&reach_pub, ni);
+            for s in &node.panic_sites {
+                raw.push(Diagnostic {
+                    file: rel.clone(),
+                    line: s.line,
+                    rule: Rule::R3,
+                    message: format!(
+                        "`{}` in a library crate is reachable from a public entry \
+                         point and panics on recoverable errors; return Result or \
+                         justify with an allow",
+                        s.detail
+                    ),
+                    chain: chain.clone(),
+                });
+            }
+        }
+
+        // R4v2: nondeterminism reads reachable from a public entry
+        // point, unless sanctioned by the RSM_THREADS shim.
+        if !class.is_bench_crate() && reach_pub[ni].yes() && !node.nondet_sites.is_empty() {
+            let chain = graph.chain(&reach_pub, ni);
+            for s in &node.nondet_sites {
+                if node.shim && s.env {
+                    continue;
+                }
+                raw.push(Diagnostic {
+                    file: rel.clone(),
+                    line: s.line,
+                    rule: Rule::R4,
+                    message: format!(
+                        "`{}` injects ambient nondeterminism on a publicly reachable \
+                         path; only the RSM_THREADS shim in crates/runtime may read \
+                         process state",
+                        s.detail
+                    ),
+                    chain: chain.clone(),
+                });
+            }
+        }
+
+        // R6v2: materialization reachable from a matrix-free front.
+        if (class.is_lib_crate() || class.crate_name.as_deref() == Some("cli"))
+            && reach_front[ni].yes()
+            && !node.mat_sites.is_empty()
+        {
+            let chain = graph.chain(&reach_front, ni);
+            for s in &node.mat_sites {
+                raw.push(Diagnostic {
+                    file: rel.clone(),
+                    line: s.line,
+                    rule: Rule::R6,
+                    message: "`design_matrix()` materializes the full K×M matrix on a \
+                              path from a matrix-free entry front; solve through \
+                              AtomSource (DictionarySource/CachedSource) or justify \
+                              the dense path with an allow"
+                        .into(),
+                    chain: chain.clone(),
+                });
+            }
+        }
+    }
+
+    let mut report = crate::diag::Report {
+        files_scanned: units.len(),
+        ..Default::default()
+    };
+    for unit in units {
+        let mut suppressions = SuppressionSet::collect(&unit.tokens);
+        let mut file_diags: Vec<Diagnostic> =
+            raw.iter().filter(|d| d.file == unit.rel).cloned().collect();
+        file_diags.retain(|d| !suppressions.matches(d.rule, d.line));
+        suppressions.audit(&unit.rel, &mut file_diags);
+        if emit(&unit.rel) {
+            report.suppressions_used += suppressions.used_count();
+            report.diagnostics.extend(file_diags);
+        }
+    }
+    report.sort();
+    report
+}
+
+/// Lints one file's source text in isolation (single-unit graph).
+/// `file` is the label used in diagnostics (workspace-relative path).
 pub fn lint_source(file: &str, src: &str, class: &FileClass) -> (Vec<Diagnostic>, usize) {
-    let tokens = lex(src);
-    let mut suppressions = SuppressionSet::collect(&tokens);
-    let in_test = mark_test_spans(&tokens);
-    // Comments never participate in code patterns; drop them (keeping
-    // the parallel in_test flags aligned).
-    let code: Vec<(usize, &Token)> = tokens
+    let unit = Unit::new(file.to_string(), src, class.clone());
+    let report = lint_units(std::slice::from_ref(&unit), |_| true);
+    (report.diagnostics, report.suppressions_used)
+}
+
+/// The purely lexical rules: R1 (unordered maps), R2 (exact float
+/// compare), R5 (unsafe — applies even to test code).
+fn local_pass(unit: &Unit, raw: &mut Vec<Diagnostic>) {
+    let class = &unit.class;
+    let in_test = mark_test_spans(&unit.tokens);
+    let code: Vec<(usize, &Token)> = unit
+        .tokens
         .iter()
         .enumerate()
         .filter(|(_, t)| !matches!(t.kind, TokenKind::Comment(_)))
         .collect();
-
-    let mut raw: Vec<Diagnostic> = Vec::new();
+    let r2_exempt = unit.rel.ends_with(TOL_MODULE);
     let mut emit = |rule: Rule, line: u32, message: String| {
         raw.push(Diagnostic {
-            file: file.to_string(),
+            file: unit.rel.clone(),
             line,
             rule,
             message,
+            chain: Vec::new(),
         });
     };
 
@@ -137,8 +264,10 @@ pub fn lint_source(file: &str, src: &str, class: &FileClass) -> (Vec<Diagnostic>
             continue;
         }
 
-        // R2: exact float comparison against a float literal.
-        if (tok.is_punct("==") || tok.is_punct("!="))
+        // R2: exact float comparison against a float literal (exempt
+        // in the designated tolerance-helper module).
+        if !r2_exempt
+            && (tok.is_punct("==") || tok.is_punct("!="))
             && (at(-1).is_some_and(Token::is_float) || at(1).is_some_and(Token::is_float))
         {
             let op = match &tok.kind {
@@ -153,85 +282,8 @@ pub fn lint_source(file: &str, src: &str, class: &FileClass) -> (Vec<Diagnostic>
                      (exactly_zero/near_zero/approx_eq) to make the tolerance explicit"
                 ),
             );
-            continue;
-        }
-
-        // R3: .unwrap()/.expect( in library crates.
-        if class.is_lib_crate() && tok.is_punct(".") {
-            if let Some(name @ ("unwrap" | "expect")) = at(1).and_then(Token::ident) {
-                if at(2).is_some_and(|t| t.is_punct("(")) {
-                    let line = at(1).map_or(tok.line, |t| t.line);
-                    emit(
-                        Rule::R3,
-                        line,
-                        format!(
-                            "`{name}()` in a library crate panics on recoverable \
-                             errors; return Result or justify with an allow"
-                        ),
-                    );
-                }
-            }
-        }
-
-        // R6: dense design-matrix materialization in solver-facing
-        // code. `fn design_matrix(` (the definition) is exempt; calls
-        // must either go through AtomSource or carry a reasoned allow.
-        if (class.is_lib_crate() || class.crate_name.as_deref() == Some("cli"))
-            && ident == Some("design_matrix")
-            && at(1).is_some_and(|t| t.is_punct("("))
-            && at(-1).and_then(Token::ident) != Some("fn")
-        {
-            emit(
-                Rule::R6,
-                tok.line,
-                "`design_matrix()` materializes the full K×M matrix; solve \
-                 through AtomSource (DictionarySource/CachedSource) or justify \
-                 the dense path with an allow"
-                    .into(),
-            );
-            continue;
-        }
-
-        // R4: nondeterminism sources outside bench crates.
-        if !class.is_bench_crate() {
-            if ident == Some("SystemTime") {
-                emit(
-                    Rule::R4,
-                    tok.line,
-                    "`SystemTime` injects wall-clock nondeterminism".into(),
-                );
-            } else if ident == Some("thread")
-                && at(1).is_some_and(|t| t.is_punct("::"))
-                && at(2).and_then(Token::ident) == Some("current")
-            {
-                emit(
-                    Rule::R4,
-                    tok.line,
-                    "`thread::current()` identity must not influence results".into(),
-                );
-            } else if ident == Some("env") && at(1).is_some_and(|t| t.is_punct("::")) {
-                if let Some(f @ ("var" | "vars" | "var_os" | "set_var" | "remove_var")) =
-                    at(2).and_then(Token::ident)
-                {
-                    emit(
-                        Rule::R4,
-                        tok.line,
-                        format!(
-                            "`env::{f}` reads ambient process state; only the \
-                             sanctioned RSM_THREADS entry point may do this"
-                        ),
-                    );
-                }
-            }
         }
     }
-
-    let mut out: Vec<Diagnostic> = raw
-        .into_iter()
-        .filter(|d| !suppressions.matches(d.rule, d.line))
-        .collect();
-    suppressions.audit(file, &mut out);
-    (out, suppressions.used_count())
 }
 
 /// Computes, for every token index, whether it sits inside a
@@ -241,7 +293,7 @@ pub fn lint_source(file: &str, src: &str, class: &FileClass) -> (Vec<Diagnostic>
 /// further attributes and the following item: up to the matching `}`
 /// of the item's first brace block, or the first top-level `;` for
 /// brace-less items (`use`, type aliases).
-fn mark_test_spans(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn mark_test_spans(tokens: &[Token]) -> Vec<bool> {
     let mut flags = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -350,31 +402,100 @@ mod tests {
     }
 
     #[test]
-    fn r3_fires_in_lib_context_and_spares_unwrap_or() {
-        let ds = lint_lib("fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+    fn r2_exempts_the_tolerance_module() {
+        let src = "pub fn exactly_zero(x: f64) -> bool { x == 0.0 }\n";
+        let class = FileClass::from_path(TOL_MODULE);
+        let (ds, _) = lint_source(TOL_MODULE, src, &class);
+        assert!(ds.is_empty(), "{ds:?}");
+        // Every other linalg file is still checked.
+        let other = "crates/linalg/src/dense.rs";
+        let (ds, _) = lint_source(other, src, &FileClass::from_path(other));
+        assert_eq!(rules_of(&ds), vec![Rule::R2]);
+    }
+
+    #[test]
+    fn r3_fires_on_reachable_sites_with_chain() {
+        // Site directly in a pub fn: one-frame chain.
+        let ds = lint_lib("pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
         assert_eq!(rules_of(&ds), vec![Rule::R3]);
-        let ds = lint_lib("fn f(x: Option<u8>) -> u8 { x.expect(\"boom\") }\n");
+        assert_eq!(ds[0].chain.len(), 1, "{:?}", ds[0].chain);
+        // Site two frames below a pub fn: full chain printed.
+        let src = "pub fn entry() { mid(); }\nfn mid() { deep(); }\n\
+                   fn deep() { let x: Option<u8> = None; x.expect(\"boom\"); }\n";
+        let ds = lint_lib(src);
         assert_eq!(rules_of(&ds), vec![Rule::R3]);
-        assert!(lint_lib("fn f(x: Option<u8>) -> u8 { x.unwrap_or(3) }\n").is_empty());
+        assert_eq!(ds[0].chain.len(), 3, "{:?}", ds[0].chain);
+        assert!(ds[0].chain[0].contains("entry"), "{:?}", ds[0].chain);
+        assert!(ds[0].chain[2].contains("deep"), "{:?}", ds[0].chain);
+        // panic! is a panic site too.
+        let ds = lint_lib("pub fn f() { panic!(\"no\"); }\n");
+        assert_eq!(rules_of(&ds), vec![Rule::R3]);
+    }
+
+    #[test]
+    fn r3_spares_unreachable_and_unwrap_or() {
+        // A private fn no public path reaches is not a hazard.
+        assert!(lint_lib("fn orphan(x: Option<u8>) -> u8 { x.unwrap() }\n").is_empty());
+        assert!(lint_lib("pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(3) }\n").is_empty());
         // Non-library crates may unwrap.
         let class = FileClass::from_path("crates/cli/src/lib.rs");
-        let (ds, _) = lint_source("t.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap() }", &class);
+        let (ds, _) = lint_source(
+            "t.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+            &class,
+        );
         assert!(ds.is_empty());
     }
 
     #[test]
-    fn r4_fires_on_nondeterminism_sources() {
+    fn r3_treats_trait_impl_methods_as_entries() {
+        let src = "impl Circuit for OpAmp {\n  fn evaluate(&self, x: &[f64]) -> f64 {\n    \
+                   self.inner.get(0).unwrap()\n  }\n}\n";
+        let ds = lint_lib(src);
+        assert_eq!(rules_of(&ds), vec![Rule::R3]);
+    }
+
+    #[test]
+    fn r4_fires_on_reachable_nondeterminism_sources() {
+        // Module-scope `use` keeps firing (file-level pseudo-node).
         let ds = lint_lib("use std::time::SystemTime;\n");
         assert_eq!(rules_of(&ds), vec![Rule::R4]);
-        let ds = lint_lib("fn f() { let v = std::env::var(\"X\"); }\n");
+        let ds = lint_lib("pub fn f() { let v = std::env::var(\"X\"); }\n");
         assert_eq!(rules_of(&ds), vec![Rule::R4]);
-        let ds = lint_lib("fn f() { let t = std::thread::current(); }\n");
+        assert!(!ds[0].chain.is_empty());
+        let ds = lint_lib("pub fn f() { let t = std::thread::current(); }\n");
         assert_eq!(rules_of(&ds), vec![Rule::R4]);
+        // Unreachable private readers are not flagged...
+        assert!(lint_lib("fn orphan() { let v = std::env::var(\"X\"); }\n").is_empty());
+        // ...but become so once a pub fn calls them, chain included.
+        let src = "pub fn f() { orphan(); }\nfn orphan() { let v = std::env::var(\"X\"); }\n";
+        let ds = lint_lib(src);
+        assert_eq!(rules_of(&ds), vec![Rule::R4]);
+        assert_eq!(ds[0].chain.len(), 2);
         // thread::spawn is fine; bench crates are exempt.
-        assert!(lint_lib("fn f() { std::thread::spawn(|| {}); }\n").is_empty());
+        assert!(lint_lib("pub fn f() { std::thread::spawn(|| {}); }\n").is_empty());
         let class = FileClass::from_path("crates/bench/src/lib.rs");
-        let (ds, _) = lint_source("t.rs", "fn f() { std::env::var(\"X\"); }", &class);
+        let (ds, _) = lint_source("t.rs", "pub fn f() { std::env::var(\"X\"); }", &class);
         assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn r4_sanctions_the_runtime_shim_structurally() {
+        let shim = "pub fn threads() -> usize {\n  \
+                    match std::env::var(\"RSM_THREADS\") { Ok(_) => 2, Err(_) => 1 }\n}\n";
+        // In explicit/fixture mode the crate check is relaxed: the
+        // RSM_THREADS literal alone marks the shim.
+        assert!(lint_lib(shim).is_empty(), "shim env read is sanctioned");
+        // Without the sentinel literal the same read is flagged.
+        let other = shim.replace("RSM_THREADS", "OTHER_KNOB");
+        assert_eq!(rules_of(&lint_lib(&other)), vec![Rule::R4]);
+        // In workspace mode only crates/runtime may host the shim.
+        let class = FileClass::from_path("crates/core/src/lib.rs");
+        let (ds, _) = lint_source("crates/core/src/lib.rs", shim, &class);
+        assert_eq!(rules_of(&ds), vec![Rule::R4]);
+        let class = FileClass::from_path("crates/runtime/src/lib.rs");
+        let (ds, _) = lint_source("crates/runtime/src/lib.rs", shim, &class);
+        assert!(ds.is_empty(), "{ds:?}");
     }
 
     #[test]
@@ -385,27 +506,46 @@ mod tests {
     }
 
     #[test]
-    fn r6_fires_on_design_matrix_calls_not_definitions() {
-        let ds = lint_lib("fn f(d: &Dictionary, s: &Matrix) { let g = d.design_matrix(s); }\n");
+    fn r6_fires_on_paths_from_fronts_only() {
+        // A call inside a front fires with a one-frame chain.
+        let ds = lint_lib("pub fn cross_validate(d: &D, s: &M) { let g = d.design_matrix(s); }\n");
         assert_eq!(rules_of(&ds), vec![Rule::R6]);
+        assert_eq!(ds[0].chain.len(), 1);
+        // Transitive: front -> helper -> design_matrix.
+        let src = "impl LarConfig {\n  pub fn fit(&self, d: &D) { prep(d); }\n}\n\
+                   fn prep(d: &D) { let g = d.design_matrix(); }\n";
+        let ds = lint_lib(src);
+        assert_eq!(rules_of(&ds), vec![Rule::R6]);
+        assert_eq!(ds[0].chain.len(), 2, "{:?}", ds[0].chain);
+        // A dense call *not* reachable from any front is fine now.
+        assert!(lint_lib("pub fn table(d: &D) { let g = d.design_matrix(); }\n").is_empty());
         // The definition in rsm-basis is not a materialization site.
-        assert!(
-            lint_lib("pub fn design_matrix(&self, s: &Matrix) -> Matrix { todo!() }\n").is_empty()
-        );
+        assert!(lint_lib(
+            "pub fn cross_validate() {}\n\
+             pub fn design_matrix(s: &M) -> M { todo!() }\n"
+        )
+        .iter()
+        .all(|d| d.rule != Rule::R6));
         // The cli crate is in scope even though it is not a lib crate.
         let class = FileClass::from_path("crates/cli/src/lib.rs");
-        let (ds, _) = lint_source("t.rs", "fn f() { dict.design_matrix(&inputs); }", &class);
+        let (ds, _) = lint_source(
+            "t.rs",
+            "pub fn fit(dict: &D, inputs: &M) { dict.design_matrix(inputs); }",
+            &class,
+        );
         assert_eq!(rules_of(&ds), vec![Rule::R6]);
-        // Bench tables and test files may go dense freely.
+        // Bench tables may go dense freely.
         let class = FileClass::from_path("crates/bench/src/lib.rs");
-        let (ds, _) = lint_source("t.rs", "fn f() { dict.design_matrix(&inputs); }", &class);
-        assert!(ds.is_empty());
-        let class = FileClass::from_path("crates/core/tests/properties.rs");
-        let (ds, _) = lint_source("t.rs", "fn f() { dict.design_matrix(&inputs); }", &class);
+        let (ds, _) = lint_source(
+            "t.rs",
+            "pub fn fit(dict: &D, inputs: &M) { dict.design_matrix(inputs); }",
+            &class,
+        );
         assert!(ds.is_empty());
         // A reasoned allow silences it.
-        let src = "// rsm-lint: allow(R6) — tiny M, dense is fine here\n\
-                   fn f() { dict.design_matrix(&inputs); }\n";
+        let src = "pub fn cross_validate(dict: &D, inputs: &M) {\n    \
+                   // rsm-lint: allow(R6) — tiny M, dense is fine here\n    \
+                   dict.design_matrix(inputs);\n}\n";
         let (ds, used) = lint_source("t.rs", src, &FileClass::lib_context());
         assert!(ds.is_empty(), "{ds:?}");
         assert_eq!(used, 1);
@@ -420,35 +560,38 @@ mod tests {
         let src = "#[test]\nfn t() { let x: Option<u8> = None; x.unwrap(); }\n";
         assert!(lint_lib(src).is_empty());
         // ... but code after the gated item is checked again.
-        let src = "#[test]\nfn t() { }\nfn prod(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let src = "#[test]\nfn t() { }\npub fn prod(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert_eq!(rules_of(&lint_lib(src)), vec![Rule::R3]);
     }
 
     #[test]
     fn cfg_not_test_is_production_code() {
-        let src = "#[cfg(not(test))]\nfn prod(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let src = "#[cfg(not(test))]\npub fn prod(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert_eq!(rules_of(&lint_lib(src)), vec![Rule::R3]);
     }
 
     #[test]
     fn suppression_silences_and_is_audited() {
-        let src = "fn f(x: Option<u8>) -> u8 {\n    \
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    \
                    // rsm-lint: allow(R3) — demo justification\n    x.unwrap()\n}\n";
         let (ds, used) = lint_source("t.rs", src, &FileClass::lib_context());
         assert!(ds.is_empty(), "{ds:?}");
         assert_eq!(used, 1);
         // Same-line suppression.
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // rsm-lint: allow(R3) — demo\n";
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // rsm-lint: allow(R3) — demo\n";
         let (ds, _) = lint_source("t.rs", src, &FileClass::lib_context());
         assert!(ds.is_empty(), "{ds:?}");
         // Unreasoned suppression: S0 and the original R3 both fire.
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // rsm-lint: allow(R3)\n";
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // rsm-lint: allow(R3)\n";
         let (ds, _) = lint_source("t.rs", src, &FileClass::lib_context());
         let mut rs = rules_of(&ds);
         rs.sort();
         assert_eq!(rs, vec![Rule::R3, Rule::S0]);
-        // Stale suppression: S1.
-        let src = "// rsm-lint: allow(R5) — nothing unsafe below\nfn f() {}\n";
+        // Stale suppression: S1. The flow-aware rules make this the
+        // enforcement arm of the suppression re-audit — an allow on a
+        // now-unreachable site *must* be deleted.
+        let src = "// rsm-lint: allow(R3) — was needed under v1\n\
+                   fn orphan(x: Option<u8>) -> u8 { x.unwrap() }\n";
         let (ds, _) = lint_source("t.rs", src, &FileClass::lib_context());
         assert_eq!(rules_of(&ds), vec![Rule::S1]);
     }
@@ -463,5 +606,28 @@ mod tests {
             &class,
         );
         assert_eq!(rules_of(&ds), vec![Rule::R5]);
+    }
+
+    #[test]
+    fn multi_unit_reachability_crosses_files() {
+        let mk = |rel: &str, src: &str| Unit::new(rel.into(), src, FileClass::from_path(rel));
+        let units = vec![
+            mk(
+                "crates/core/src/solver.rs",
+                "pub fn fit() { rsm_linalg::norms::l2(); }\n",
+            ),
+            mk(
+                "crates/linalg/src/norms.rs",
+                "pub(crate) fn l2() { let x: Option<u8> = None; x.unwrap(); }\n",
+            ),
+        ];
+        let report = lint_units(&units, |_| true);
+        assert_eq!(rules_of(&report.diagnostics), vec![Rule::R3]);
+        assert_eq!(report.diagnostics[0].file, "crates/linalg/src/norms.rs");
+        assert_eq!(report.diagnostics[0].chain.len(), 2);
+        // Emission filter: same analysis, but only solver.rs may emit.
+        let report = lint_units(&units, |rel| rel.ends_with("solver.rs"));
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.files_scanned, 2, "the whole set is still parsed");
     }
 }

@@ -1,0 +1,139 @@
+//! SARIF 2.1.0 output (`rsm-lint check --format sarif`).
+//!
+//! Emits the minimal required-fields shape of the Static Analysis
+//! Results Interchange Format so CI systems and editors can ingest
+//! rsm-lint findings: one `run` with a `tool.driver` declaring every
+//! rule, and one `result` per diagnostic carrying `ruleId`, `level`, a
+//! `message`, and a `physicalLocation` (`artifactLocation.uri` +
+//! `region.startLine`). Interprocedural call chains are appended to
+//! the message text, frame per line, so the chain survives in viewers
+//! that only render `message.text`.
+//!
+//! Hand-rolled (std-only) like the rest of the crate; the vendored
+//! `serde_json` parser validates the shape in tests.
+
+use crate::diag::{json_escape, Report, Rule, Severity};
+
+/// All rules advertised in the SARIF `tool.driver.rules` array, in
+/// stable id order.
+const ALL_RULES: [Rule; 8] = [
+    Rule::R1,
+    Rule::R2,
+    Rule::R3,
+    Rule::R4,
+    Rule::R5,
+    Rule::R6,
+    Rule::S0,
+    Rule::S1,
+];
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// Serializes a [`Report`] as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str(
+        "  \"$schema\": \"https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"rsm-lint\",\n");
+    out.push_str(&format!(
+        "          \"version\": \"{}\",\n",
+        env!("CARGO_PKG_VERSION")
+    ));
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"defaultConfiguration\": {{\"level\": \"{}\"}}}}{}\n",
+            rule.id(),
+            json_escape(rule.summary()),
+            level(rule.severity()),
+            if i + 1 < ALL_RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut text = d.message.clone();
+        for (k, frame) in d.chain.iter().enumerate() {
+            text.push_str(if k == 0 { "\nvia: " } else { "\n  -> " });
+            text.push_str(frame);
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"{}\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}",
+            d.rule.id(),
+            level(d.rule.severity()),
+            json_escape(&text),
+            json_escape(&d.file),
+            d.line
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    fn sample() -> Report {
+        Report {
+            diagnostics: vec![Diagnostic {
+                file: "crates/core/src/lar.rs".into(),
+                line: 42,
+                rule: Rule::R3,
+                message: "`unwrap()` reachable from a public entry point".into(),
+                chain: vec![
+                    "core::lar::fit (crates/core/src/lar.rs:30)".into(),
+                    "core::lar::step (crates/core/src/lar.rs:41)".into(),
+                ],
+            }],
+            files_scanned: 1,
+            suppressions_used: 0,
+            diff_base: None,
+        }
+    }
+
+    #[test]
+    fn sarif_has_required_fields() {
+        let doc = to_sarif(&sample());
+        for needle in [
+            "\"version\": \"2.1.0\"",
+            "\"$schema\"",
+            "\"runs\"",
+            "\"name\": \"rsm-lint\"",
+            "\"ruleId\": \"R3\"",
+            "\"level\": \"warning\"",
+            "\"startLine\": 42",
+            "\"uri\": \"crates/core/src/lar.rs\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+        // The chain survives in the message text.
+        assert!(doc.contains("via: core::lar::fit"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_sarif_with_empty_results() {
+        let doc = to_sarif(&Report::default());
+        assert!(doc.contains("\"results\": []"));
+    }
+}

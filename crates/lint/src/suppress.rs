@@ -139,6 +139,7 @@ impl SuppressionSet {
                 line: *line,
                 rule: Rule::S0,
                 message: msg.clone(),
+                chain: Vec::new(),
             });
         }
         for s in &self.entries {
@@ -151,6 +152,7 @@ impl SuppressionSet {
                         "allow({}) suppressed nothing; delete the stale directive",
                         ids(&s.rules)
                     ),
+                    chain: Vec::new(),
                 });
             }
         }

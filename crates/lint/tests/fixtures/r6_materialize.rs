@@ -1,12 +1,29 @@
-//! R6 fixture: dense design-matrix materialization.
+//! R6v2 fixture: transitive materialization from matrix-free fronts.
 //!
-//! Two hazardous calls fire; the definition, the suppressed call, and
-//! the test-gated call stay quiet.
+//! A dense call fires only on a path from an entry front
+//! (`cross_validate`/`fit`/`LarConfig` methods): one direct hit, one
+//! two-frame transitive hit. The unreachable dense helper, the
+//! definition, the suppressed call, and the test-gated call stay quiet.
 
-pub fn hazardous(dict: &Dictionary, samples: &Matrix) -> Matrix {
-    let g = dict.design_matrix(samples);
-    let again = dict.design_matrix(&g);
-    again
+// Front calling design_matrix directly: flagged with a 1-frame chain.
+pub fn cross_validate(dict: &Dictionary, samples: &Matrix) -> Matrix {
+    dict.design_matrix(samples)
+}
+
+// Transitive: front -> private helper -> design_matrix (2-frame chain).
+impl LarConfig {
+    pub fn fit(&self, dict: &Dictionary, samples: &Matrix) -> Matrix {
+        prep_gram(dict, samples)
+    }
+}
+
+fn prep_gram(dict: &Dictionary, samples: &Matrix) -> Matrix {
+    dict.design_matrix(samples)
+}
+
+// No front reaches this: the dense path is fine (v1 flagged it).
+pub fn bench_table(dict: &Dictionary, samples: &Matrix) -> Matrix {
+    dict.design_matrix(samples)
 }
 
 // The definition itself (as in rsm-basis) is not a materialization site.
@@ -14,7 +31,7 @@ pub fn design_matrix(samples: &Matrix) -> Matrix {
     samples.clone()
 }
 
-pub fn sanctioned(dict: &Dictionary, samples: &Matrix) -> Matrix {
+pub fn cross_validate_source(dict: &Dictionary, samples: &Matrix) -> Matrix {
     // rsm-lint: allow(R6) — tiny fixture dictionary, dense is intended
     dict.design_matrix(samples)
 }

@@ -1,0 +1,15 @@
+//! R3v2 fixture: a panic site two private frames below the public
+//! surface. The diagnostic must print the full three-frame chain
+//! (entry_point -> middle_hop -> bottom_frame).
+
+pub fn entry_point(xs: &[f64]) -> f64 {
+    middle_hop(xs)
+}
+
+fn middle_hop(xs: &[f64]) -> f64 {
+    bottom_frame(xs)
+}
+
+fn bottom_frame(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,18 @@
+//! R4v2 fixture: the `RSM_THREADS` shim pattern is sanctioned
+//! structurally (in explicit mode the crates/runtime check is relaxed
+//! so the fixture can live here), while any other env read on a public
+//! path is flagged.
+
+pub fn threads_shim() -> usize {
+    match std::env::var("RSM_THREADS") {
+        Ok(s) => s.trim().parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
+pub fn bad_knob() -> usize {
+    match std::env::var("OTHER_KNOB") {
+        Ok(_) => 2,
+        Err(_) => 1,
+    }
+}

@@ -1,0 +1,14 @@
+//! R3v2 negative fixture: the only caller of the panicking helper is
+//! `#[cfg(test)]` code, which is never a reachability root.
+
+fn helper_for_tests(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exercises_helper() {
+        assert_eq!(super::helper_for_tests(Some(3)), 3);
+    }
+}

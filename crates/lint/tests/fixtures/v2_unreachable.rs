@@ -1,0 +1,19 @@
+//! R3v2/R4v2 negative fixture: violation sites in private functions
+//! that no public entry point reaches. The v1 lexical rules flagged
+//! all of these; the flow-aware rules prove them harmless.
+
+fn orphan_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn orphan_env_read() -> usize {
+    std::env::var("SOME_KNOB").map_or(1, |_| 2)
+}
+
+fn orphan_dense(dict: &Dictionary, samples: &Matrix) -> Matrix {
+    dict.design_matrix(samples)
+}
+
+pub fn safe_entry() -> f64 {
+    1.0
+}

@@ -43,6 +43,42 @@ fn r3_positive_and_negative() {
 }
 
 #[test]
+fn r3_v2_prints_multi_frame_chains() {
+    let report = lint_paths(&[fixture("v2_chain.rs")]).expect("fixture readable");
+    assert_eq!(report.diagnostics.len(), 1);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, Rule::R3);
+    assert_eq!(d.chain.len(), 3, "{:?}", d.chain);
+    assert!(d.chain[0].contains("entry_point"), "{:?}", d.chain);
+    assert!(d.chain[1].contains("middle_hop"), "{:?}", d.chain);
+    assert!(d.chain[2].contains("bottom_frame"), "{:?}", d.chain);
+    // The human rendering carries the chain too.
+    let text = d.render();
+    assert!(text.contains("via:"), "{text}");
+    assert!(text.contains("entry_point"), "{text}");
+}
+
+#[test]
+fn v2_unreachable_sites_are_clean() {
+    assert!(rules_for("v2_unreachable.rs").is_empty());
+}
+
+#[test]
+fn v2_test_only_callers_do_not_make_sites_reachable() {
+    assert!(rules_for("v2_test_only_caller.rs").is_empty());
+}
+
+#[test]
+fn v2_shim_sanctions_rsm_threads_reads_only() {
+    let report = lint_paths(&[fixture("v2_shim.rs")]).expect("fixture readable");
+    assert_eq!(report.diagnostics.len(), 1);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, Rule::R4);
+    assert!(d.message.contains("env::var"), "{}", d.message);
+    assert!(!d.chain.is_empty());
+}
+
+#[test]
 fn r4_positive() {
     assert_eq!(
         rules_for("r4_nondet.rs"),
@@ -57,11 +93,31 @@ fn r5_fires_even_under_cfg_test() {
 
 #[test]
 fn r6_positive_definition_and_suppression() {
-    // Two hazardous calls fire; the `fn design_matrix` definition, the
+    // Two front-reachable calls fire (one direct, one transitive); the
+    // unreachable dense helper, the `fn design_matrix` definition, the
     // reasoned allow, and the #[cfg(test)] call do not.
     assert_eq!(rules_for("r6_materialize.rs"), vec![Rule::R6, Rule::R6]);
     let report = lint_paths(&[fixture("r6_materialize.rs")]).expect("fixture readable");
     assert_eq!(report.suppressions_used, 1);
+    // Chains: the direct hit has one frame, the transitive hit two.
+    let mut chains: Vec<usize> = report.diagnostics.iter().map(|d| d.chain.len()).collect();
+    chains.sort_unstable();
+    assert_eq!(chains, vec![1, 2], "{:?}", report.diagnostics);
+    let transitive = report
+        .diagnostics
+        .iter()
+        .find(|d| d.chain.len() == 2)
+        .expect("transitive hit");
+    assert!(
+        transitive.chain[0].contains("fit"),
+        "{:?}",
+        transitive.chain
+    );
+    assert!(
+        transitive.chain[1].contains("prep_gram"),
+        "{:?}",
+        transitive.chain
+    );
 }
 
 #[test]
@@ -87,8 +143,10 @@ fn whole_corpus_diagnostic_census() {
     // directory walker and gives a single census that must stay in
     // sync with the per-file assertions above.
     let report = lint_paths(&[fixture("")]).expect("fixtures dir readable");
-    assert_eq!(report.files_scanned, 11);
-    assert_eq!(report.diagnostics.len(), 6 + 3 + 2 + 3 + 2 + 3 + 2);
+    assert_eq!(report.files_scanned, 15);
+    // r1=6, r2=3, r3=2, r4=3, r5=2, bad_suppression=3, r6=2,
+    // v2_chain=1, v2_shim=1; the v2 negatives contribute nothing.
+    assert_eq!(report.diagnostics.len(), 6 + 3 + 2 + 3 + 2 + 3 + 2 + 1 + 1);
     // Deterministic ordering: report is sorted by (file, line, rule).
     let mut sorted = report.diagnostics.clone();
     sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -101,7 +159,7 @@ fn whole_corpus_diagnostic_census() {
 fn json_report_is_well_formed_enough() {
     let report = lint_paths(&[fixture("r5_unsafe.rs")]).expect("fixture readable");
     let json = report.to_json();
-    assert!(json.contains("\"version\": 1"));
+    assert!(json.contains("\"version\": 2"));
     assert!(json.contains("\"clean\": false"));
     assert!(json.contains("\"rule\": \"R5\""));
     assert!(json.contains("r5_unsafe.rs"));

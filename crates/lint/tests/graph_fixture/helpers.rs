@@ -1,0 +1,12 @@
+//! Second file of the snapshot fixture: a trait impl (its method is a
+//! trait-surface entry) and a bare-callable env reader.
+
+impl Source for Gram {
+    fn atom(&self, j: usize) -> f64 {
+        j as f64
+    }
+}
+
+pub fn read_knob() -> usize {
+    std::env::var("SOME_KNOB").map_or(1, |_| 2)
+}

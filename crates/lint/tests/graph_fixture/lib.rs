@@ -1,0 +1,13 @@
+//! Call-graph snapshot fixture: a tiny two-file "crate" exercising
+//! bare calls, cross-file method calls, a front, and panic/nondet
+//! sites. The deterministic snapshot is pinned by
+//! `tests/graph_snapshot.rs`.
+
+pub fn cross_validate(xs: &[f64]) -> f64 {
+    let s = helper_sum(xs);
+    s + read_knob() as f64
+}
+
+fn helper_sum(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,53 @@
+//! Pins the deterministic call-graph snapshot of the two-file fixture
+//! crate under `tests/graph_fixture/`. Any change to node keying, edge
+//! resolution, site scanning, or ordering shows up as a readable diff
+//! against `tests/graph_fixture.snapshot.txt`.
+
+use rsm_lint::{path_units, CallGraph};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    // Relative on purpose: the snapshot must not embed absolute paths.
+    // Integration tests run with the crate manifest dir as cwd.
+    PathBuf::from("tests/graph_fixture")
+}
+
+fn build_snapshot() -> String {
+    let units = path_units(&[fixture_dir()]).expect("fixture crate readable");
+    CallGraph::build(&units).snapshot()
+}
+
+#[test]
+fn snapshot_matches_golden_file() {
+    let golden = std::fs::read_to_string("tests/graph_fixture.snapshot.txt")
+        .expect("golden snapshot readable");
+    let got = build_snapshot();
+    assert_eq!(
+        got, golden,
+        "call-graph snapshot drifted; if intentional, regenerate with\n  \
+         cargo run -p rsm-lint -- graph tests/graph_fixture > tests/graph_fixture.snapshot.txt"
+    );
+}
+
+#[test]
+fn snapshot_is_deterministic_across_builds() {
+    assert_eq!(build_snapshot(), build_snapshot());
+}
+
+#[test]
+fn snapshot_encodes_roles_edges_and_sites() {
+    let snap = build_snapshot();
+    // The front fn carries both roles and its resolved edges.
+    assert!(snap.contains("node linalg::cross_validate [entry,front]"));
+    assert!(snap.contains("  -> linalg::helper_sum @"));
+    assert!(snap.contains("  -> linalg::read_knob @"));
+    // The private helper is not an entry but holds the panic site.
+    assert!(snap.contains("node linalg::helper_sum (tests/graph_fixture/lib.rs"));
+    assert!(snap.contains("  panic unwrap() @"));
+    // Trait-impl methods are entries; env reads are nondet sites.
+    assert!(snap.contains("node linalg::Gram::atom [entry,method]"));
+    assert!(snap.contains("  nondet env::var @"));
+    // Module-scope pseudo-nodes exist for both files.
+    assert!(snap.contains("tests/graph_fixture/lib.rs::(module)"));
+    assert!(snap.contains("tests/graph_fixture/helpers.rs::(module)"));
+}

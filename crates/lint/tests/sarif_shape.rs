@@ -1,0 +1,118 @@
+//! Validates the SARIF 2.1.0 output shape by actually parsing it with
+//! the vendored JSON parser and walking the required-fields skeleton,
+//! rather than just grepping for substrings: `version`, `$schema`,
+//! `runs[0].tool.driver` (name + full rule table), and per-result
+//! `ruleId` / `level` / `message.text` / `physicalLocation`.
+
+use rsm_lint::{lint_paths, sarif};
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn obj<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing required SARIF field `{key}` in {v:?}"))
+}
+
+fn arr(v: &Value) -> &[Value] {
+    match v {
+        Value::Arr(items) => items,
+        other => panic!("expected JSON array, got {other:?}"),
+    }
+}
+
+fn string(v: &Value) -> &str {
+    match v {
+        Value::Str(s) => s,
+        other => panic!("expected JSON string, got {other:?}"),
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Num(n) => *n,
+        other => panic!("expected JSON number, got {other:?}"),
+    }
+}
+
+/// Lints a diagnostic-bearing fixture and parses the resulting SARIF.
+fn fixture_sarif() -> Value {
+    // v2_chain.rs: one R3 finding with a three-frame call chain.
+    let report = lint_paths(&[PathBuf::from("tests/fixtures/v2_chain.rs")]).expect("fixture lints");
+    assert!(
+        !report.diagnostics.is_empty(),
+        "fixture should produce findings"
+    );
+    let doc = sarif::to_sarif(&report);
+    serde_json::parse(&doc).unwrap_or_else(|e| panic!("SARIF is not valid JSON: {e:?}\n{doc}"))
+}
+
+#[test]
+fn sarif_document_has_the_2_1_0_required_shape() {
+    let root = fixture_sarif();
+
+    assert_eq!(string(obj(&root, "version")), "2.1.0");
+    assert!(string(obj(&root, "$schema")).contains("sarif-schema-2.1.0"));
+
+    let runs = arr(obj(&root, "runs"));
+    assert_eq!(runs.len(), 1, "exactly one run");
+    let driver = obj(obj(&runs[0], "tool"), "driver");
+    assert_eq!(string(obj(driver, "name")), "rsm-lint");
+
+    // Every shipped rule is declared, with id + shortDescription + level.
+    let rules = arr(obj(driver, "rules"));
+    let ids: Vec<&str> = rules.iter().map(|r| string(obj(r, "id"))).collect();
+    assert_eq!(ids, ["R1", "R2", "R3", "R4", "R5", "R6", "S0", "S1"]);
+    for rule in rules {
+        assert!(!string(obj(obj(rule, "shortDescription"), "text")).is_empty());
+        let level = string(obj(obj(rule, "defaultConfiguration"), "level"));
+        assert!(matches!(level, "warning" | "error"), "odd level {level}");
+    }
+}
+
+#[test]
+fn sarif_results_carry_rule_location_and_chain() {
+    let root = fixture_sarif();
+    let runs = arr(obj(&root, "runs"));
+    let results = arr(obj(&runs[0], "results"));
+    assert!(!results.is_empty());
+
+    for result in results {
+        let id = string(obj(result, "ruleId"));
+        assert!(
+            id.starts_with('R') || id.starts_with('S'),
+            "odd ruleId {id}"
+        );
+        let level = string(obj(result, "level"));
+        assert!(matches!(level, "warning" | "error"), "odd level {level}");
+        assert!(!string(obj(obj(result, "message"), "text")).is_empty());
+
+        let locations = arr(obj(result, "locations"));
+        assert_eq!(locations.len(), 1);
+        let phys = obj(&locations[0], "physicalLocation");
+        let uri = string(obj(obj(phys, "artifactLocation"), "uri"));
+        assert!(
+            uri.ends_with(".rs"),
+            "uri should be a repo-relative .rs path, got {uri}"
+        );
+        let line = num(obj(obj(phys, "region"), "startLine"));
+        assert!(
+            line >= 1.0 && line.fract() == 0.0,
+            "startLine must be a 1-based integer"
+        );
+    }
+
+    // The R3 finding keeps its interprocedural chain in message.text.
+    let r3 = results
+        .iter()
+        .find(|r| string(obj(r, "ruleId")) == "R3")
+        .expect("fixture produces an R3 finding");
+    let text = string(obj(obj(r3, "message"), "text"));
+    assert!(
+        text.contains("via: "),
+        "chain missing from message text: {text}"
+    );
+    assert!(
+        text.contains("entry_point"),
+        "chain should start at the entry: {text}"
+    );
+}

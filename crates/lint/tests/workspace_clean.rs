@@ -88,7 +88,23 @@ fn check_binary_exit_codes() {
         .expect("spawn rsm-lint");
     assert!(out.status.success());
     let written = std::fs::read_to_string(&artifact).expect("artifact written");
-    assert!(written.contains("\"version\": 1"));
+    assert!(written.contains("\"version\": 2"));
+
+    // --format sarif emits a SARIF 2.1.0 document on stdout, and
+    // --sarif-out writes it alongside whatever stdout format is active
+    // (as used by the CI artifact upload).
+    let sarif_path = dir.join("rsm-lint.sarif");
+    let sarif = std::process::Command::new(bin)
+        .args(["check", "--format", "sarif", "--sarif-out"])
+        .arg(&sarif_path)
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert!(sarif.status.success());
+    let stdout = String::from_utf8_lossy(&sarif.stdout);
+    assert!(stdout.contains("\"version\": \"2.1.0\""), "{stdout}");
+    let sarif_file = std::fs::read_to_string(&sarif_path).expect("sarif artifact written");
+    assert!(sarif_file.contains("\"name\": \"rsm-lint\""));
     std::fs::remove_dir_all(&dir).ok();
 }
 

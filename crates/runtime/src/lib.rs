@@ -69,7 +69,9 @@ pub fn threads() -> usize {
     if o > 0 {
         return o;
     }
-    // rsm-lint: allow(R4) — the sanctioned RSM_THREADS entry point: thread count only affects speed, never results (see tests/parallel_equivalence.rs)
+    // The sanctioned RSM_THREADS shim: rsm-lint R4v2 recognizes this
+    // fn structurally (runtime crate + the literal below); thread count
+    // only affects speed, never results (tests/parallel_equivalence.rs).
     if let Ok(s) = std::env::var("RSM_THREADS") {
         if let Ok(n) = s.trim().parse::<usize>() {
             if n > 0 {
