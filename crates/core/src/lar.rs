@@ -104,7 +104,7 @@ impl LarConfig {
         let mut excluded = vec![false; m];
         for (j, n) in col_norms.iter_mut().enumerate() {
             *n = n.sqrt();
-            if *n <= 1e-300 {
+            if *n <= tol::NORM_FLOOR {
                 excluded[j] = true;
             }
         }
@@ -124,7 +124,7 @@ impl LarConfig {
             // c = Xᵀ f with column normalization.
             let mut c = g.correlate(f);
             for (j, v) in c.iter_mut().enumerate() {
-                *v /= col_norms[j].max(1e-300);
+                *v /= col_norms[j].max(tol::NORM_FLOOR);
             }
             c
         };
@@ -196,7 +196,7 @@ impl LarConfig {
             }
             let mut a_vec = g.correlate(&u);
             for (j, v) in a_vec.iter_mut().enumerate() {
-                *v /= col_norms[j].max(1e-300);
+                *v /= col_norms[j].max(tol::NORM_FLOOR);
             }
             // Correlation level inside the active set.
             let c_level = active.iter().map(|&j| c[j].abs()).fold(0.0f64, f64::max);
@@ -211,7 +211,7 @@ impl LarConfig {
                     (c_level - c[j]) / (a_a - a_vec[j]),
                     (c_level + c[j]) / (a_a + a_vec[j]),
                 ] {
-                    if cand > 1e-14 && cand < gamma {
+                    if cand > tol::STEP_REL_TOL && cand < gamma {
                         gamma = cand;
                     }
                 }
@@ -222,7 +222,7 @@ impl LarConfig {
                 for (pos, (&j, &wj)) in active.iter().zip(&w).enumerate() {
                     if !tol::exactly_zero(wj) {
                         let gd = -beta[j] / wj;
-                        if gd > 1e-14 && gd < gamma {
+                        if gd > tol::STEP_REL_TOL && gd < gamma {
                             gamma = gd;
                             drop_idx = Some(pos);
                         }

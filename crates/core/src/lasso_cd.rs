@@ -124,12 +124,12 @@ impl LassoCdConfig {
                 axpy(-aj, &col, &mut res);
             }
         }
-        let fscale = norm2(f).max(1e-300);
+        let fscale = norm2(f).max(tol::NORM_FLOOR);
         for _sweep in 0..self.max_sweeps {
             let mut max_delta = 0.0f64;
             let mut max_alpha = 0.0f64;
             for j in 0..m {
-                if col_sq[j] <= 1e-300 {
+                if col_sq[j] <= tol::NORM_FLOOR {
                     continue;
                 }
                 g.column_into(j, &mut col);
@@ -144,7 +144,7 @@ impl LassoCdConfig {
                 max_delta = max_delta.max(delta.abs());
                 max_alpha = max_alpha.max(new.abs());
             }
-            if max_delta <= self.tol * max_alpha.max(fscale * 1e-12) {
+            if max_delta <= self.tol * max_alpha.max(fscale * tol::DEFAULT_ABS_TOL) {
                 return Ok(SparseModel::new(
                     m,
                     alpha

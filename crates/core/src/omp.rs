@@ -106,7 +106,7 @@ impl OmpConfig {
             let mut col = vec![0.0; k];
             for (j, n) in norms.iter_mut().enumerate() {
                 g.column_into(j, &mut col);
-                *n = norm2(&col).max(1e-300);
+                *n = norm2(&col).max(tol::NORM_FLOOR);
             }
             Some(norms)
         } else {
@@ -141,7 +141,7 @@ impl OmpConfig {
                 }
             }
             let Some((s, score)) = best else { break };
-            if score <= f_norm * 1e-14 {
+            if score <= f_norm * tol::STEP_REL_TOL {
                 break; // residual orthogonal to every remaining atom
             }
             g.column_into(s, &mut col_buf);
@@ -196,7 +196,7 @@ pub fn residual_orthogonality(g: &Matrix, f: &[f64], model: &SparseModel) -> f64
     let mut worst = 0.0f64;
     for &(j, _) in model.coefficients() {
         let col = g.col(j);
-        let corr = dot(&col, &res) / (norm2(&col) * norm2(&res)).max(1e-300);
+        let corr = dot(&col, &res) / (norm2(&col) * norm2(&res)).max(tol::NORM_FLOOR);
         worst = worst.max(corr.abs());
     }
     worst

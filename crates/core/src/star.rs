@@ -94,7 +94,7 @@ impl StarConfig {
                 }
             }
             let Some((s, score)) = best else { break };
-            if score <= f_norm * 1e-14 {
+            if score <= f_norm * tol::STEP_REL_TOL {
                 break;
             }
             // The coefficient IS the inner-product estimate — no re-fit.

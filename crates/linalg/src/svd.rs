@@ -54,7 +54,10 @@ impl Svd {
         // Work on column copies of A; accumulate V.
         let mut cols: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
         let mut v = Matrix::identity(n);
-        let eps = 1e-15;
+        // One-sided Jacobi rotation threshold: a column pair whose
+        // normalized inner product is below this is already orthogonal
+        // to working precision (~4.5× f64 epsilon).
+        const JACOBI_EPS: f64 = 1e-15;
         let mut converged = false;
         for _ in 0..Self::MAX_SWEEPS {
             let mut rotated = false;
@@ -63,7 +66,8 @@ impl Svd {
                     let alpha = dot(&cols[p], &cols[p]);
                     let beta = dot(&cols[q], &cols[q]);
                     let gamma = dot(&cols[p], &cols[q]);
-                    if gamma.abs() <= eps * (alpha * beta).sqrt() || tol::exactly_zero(gamma) {
+                    if gamma.abs() <= JACOBI_EPS * (alpha * beta).sqrt() || tol::exactly_zero(gamma)
+                    {
                         continue;
                     }
                     rotated = true;

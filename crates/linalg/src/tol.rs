@@ -25,6 +25,20 @@ pub const DEFAULT_ABS_TOL: f64 = 1e-12;
 /// Default relative tolerance for [`approx_eq`].
 pub const DEFAULT_REL_TOL: f64 = 1e-9;
 
+/// Norm floor used when dividing by a vector/column norm: values at or
+/// below this are treated as structurally zero to avoid overflow in
+/// the reciprocal, while every representable normal magnitude above it
+/// stays live. Chosen at the bottom of the normal range (not machine
+/// epsilon) because LAR/OMP normalize *directions*, where even tiny
+/// norms carry sign information.
+pub const NORM_FLOOR: f64 = 1e-300;
+
+/// Relative tolerance on a LAR/OMP step improvement: a selection score
+/// or step size below `STEP_REL_TOL` times the problem scale means the
+/// path has stalled and iteration must stop deterministically (~100×
+/// f64 epsilon, absorbing accumulated round-off across a full sweep).
+pub const STEP_REL_TOL: f64 = 1e-14;
+
 /// Bit-exact test against zero (matches both `+0.0` and `-0.0`).
 ///
 /// Use for structural sentinels and divide-by-zero guards where any

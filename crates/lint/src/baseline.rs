@@ -1,0 +1,259 @@
+//! The **findings ratchet** — a committed baseline of known findings
+//! that `rsm-lint check --baseline <file>` compares against, failing
+//! only on *new* findings.
+//!
+//! Each finding is keyed by rule id plus the fn-qualified path of the
+//! enclosing function ([`crate::diag::Diagnostic::baseline_key`], e.g.
+//! `R3 core::lar::LarConfig::fit`), **never** by line number: edits
+//! that merely shift code do not churn the baseline, while a finding
+//! appearing in a new function (or a new rule firing in a known one)
+//! always trips the ratchet. `--update-baseline` rewrites the file
+//! from the current run; shrinking it is the only way "known debt"
+//! goes away.
+//!
+//! The on-disk format is a tiny JSON document, written and parsed here
+//! without a JSON dependency (the lint must never be the thing that
+//! breaks an offline build):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "keys": [
+//!     "R3 core::lar::LarConfig::fit"
+//!   ]
+//! }
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::diag::{json_escape, Diagnostic, Report};
+
+/// A set of accepted finding keys.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Accepted `"<rule> <fn-qualified-path>"` keys.
+    pub keys: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Builds the baseline that accepts exactly the findings of
+    /// `report`.
+    pub fn from_report(report: &Report) -> Baseline {
+        Baseline {
+            keys: report
+                .diagnostics
+                .iter()
+                .map(Diagnostic::baseline_key)
+                .collect(),
+        }
+    }
+
+    /// Parses a baseline document (the format written by
+    /// [`Baseline::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the document is not a `version: 1`
+    /// baseline with a `keys` string array.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        if !text.contains("\"version\"") {
+            return Err("baseline: missing \"version\" field".to_string());
+        }
+        let version_ok = text
+            .split("\"version\"")
+            .nth(1)
+            .and_then(|rest| rest.split(':').nth(1))
+            .map(|v| v.trim_start().starts_with('1'))
+            .unwrap_or(false);
+        if !version_ok {
+            return Err("baseline: unsupported version (expected 1)".to_string());
+        }
+        let keys_at = text
+            .find("\"keys\"")
+            .ok_or_else(|| "baseline: missing \"keys\" array".to_string())?;
+        let open = text[keys_at..]
+            .find('[')
+            .map(|o| keys_at + o)
+            .ok_or_else(|| "baseline: \"keys\" is not an array".to_string())?;
+        let close = text[open..]
+            .find(']')
+            .map(|c| open + c)
+            .ok_or_else(|| "baseline: unterminated \"keys\" array".to_string())?;
+        let mut keys = BTreeSet::new();
+        for raw in extract_json_strings(&text[open + 1..close]) {
+            keys.insert(raw);
+        }
+        Ok(Baseline { keys })
+    }
+
+    /// Reads and parses a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be read or parsed.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        Baseline::parse(&text)
+    }
+
+    /// Renders the canonical on-disk form (sorted keys, one per line,
+    /// trailing newline — byte-identical run to run).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"keys\": [");
+        for (i, key) in self.keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\"", json_escape(key)));
+        }
+        if !self.keys.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes the canonical form to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))
+    }
+
+    /// Splits `report` against the baseline: retains only findings
+    /// whose key is **not** accepted, returning how many known
+    /// findings were filtered out.
+    pub fn filter_new(&self, report: &mut Report) -> usize {
+        let before = report.diagnostics.len();
+        report
+            .diagnostics
+            .retain(|d| !self.keys.contains(&d.baseline_key()));
+        before - report.diagnostics.len()
+    }
+}
+
+/// Extracts the JSON string literals of an array body (handles `\"`
+/// escapes; other escapes pass through un-decoded, matching what
+/// [`json_escape`] can produce for key text).
+fn extract_json_strings(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '"' {
+            continue;
+        }
+        let mut s = String::new();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some(n) = chars.next() {
+                        match n {
+                            '"' => s.push('"'),
+                            '\\' => s.push('\\'),
+                            'n' => s.push('\n'),
+                            't' => s.push('\t'),
+                            other => {
+                                s.push('\\');
+                                s.push(other);
+                            }
+                        }
+                    }
+                }
+                '"' => break,
+                c => s.push(c),
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Rule;
+
+    fn diag(rule: Rule, file: &str, line: u32, fn_key: Option<&str>) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+            chain: Vec::new(),
+            trace: Vec::new(),
+            fn_key: fn_key.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let mut report = Report::default();
+        report.diagnostics.push(diag(
+            Rule::R8,
+            "crates/core/src/lar.rs",
+            10,
+            Some("core::lar::fit"),
+        ));
+        report
+            .diagnostics
+            .push(diag(Rule::R3, "crates/spice/src/ac.rs", 5, None));
+        let b = Baseline::from_report(&report);
+        let parsed = Baseline::parse(&b.to_json()).expect("parse");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn keys_are_line_number_free() {
+        let a = diag(Rule::R8, "f.rs", 10, Some("core::lar::fit"));
+        let b = diag(Rule::R8, "f.rs", 999, Some("core::lar::fit"));
+        assert_eq!(a.baseline_key(), b.baseline_key());
+        assert_eq!(a.baseline_key(), "R8 core::lar::fit");
+        // Without an enclosing fn the file path is the fallback.
+        let c = diag(Rule::R8, "f.rs", 10, None);
+        assert_eq!(c.baseline_key(), "R8 f.rs");
+    }
+
+    #[test]
+    fn filter_new_keeps_only_unaccepted_findings() {
+        let mut report = Report::default();
+        report
+            .diagnostics
+            .push(diag(Rule::R8, "f.rs", 1, Some("core::a")));
+        report
+            .diagnostics
+            .push(diag(Rule::R9, "f.rs", 2, Some("core::b")));
+        let mut baseline = Baseline::default();
+        baseline.keys.insert("R8 core::a".to_string());
+        let filtered = baseline.filter_new(&mut report);
+        assert_eq!(filtered, 1);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].baseline_key(), "R9 core::b");
+    }
+
+    #[test]
+    fn same_fn_different_rule_is_new() {
+        let mut baseline = Baseline::default();
+        baseline.keys.insert("R8 core::a".to_string());
+        let mut report = Report::default();
+        report
+            .diagnostics
+            .push(diag(Rule::R9, "f.rs", 1, Some("core::a")));
+        assert_eq!(baseline.filter_new(&mut report), 0);
+        assert_eq!(report.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"version\": 2, \"keys\": []}").is_err());
+        assert!(Baseline::parse("{\"version\": 1}").is_err());
+        let empty = Baseline::parse("{\"version\": 1, \"keys\": []}").expect("empty ok");
+        assert!(empty.keys.is_empty());
+    }
+}

@@ -21,6 +21,19 @@ pub enum Rule {
     /// `design_matrix(` call in a library crate: materializes the full
     /// `K×M` design matrix, defeating the `AtomSource` streaming path.
     R6,
+    /// Non-associative parallel reduction: a write inside an
+    /// `rsm_runtime` worker closure whose target is rooted outside the
+    /// closure (dataflow rule; carries a def-use trace).
+    R7,
+    /// Tolerance hygiene: an inline (or `let`-propagated) float
+    /// literal of tolerance magnitude flowing into a comparison or
+    /// `max`/`min` guard instead of a named `rsm_linalg::tol` constant
+    /// (dataflow rule; carries a def-use trace).
+    R8,
+    /// NaN-blind comparison: `partial_cmp().unwrap()`, a sort keyed on
+    /// a raw float compare, or an exact `==` on a division/`ln`/`sqrt`
+    /// tainted value (dataflow rule; carries a def-use trace).
+    R9,
     /// Malformed suppression: missing reason or unknown rule id.
     S0,
     /// Suppression that matched no diagnostic (stale allow).
@@ -28,7 +41,17 @@ pub enum Rule {
 }
 
 /// All source-checking rules, in report order.
-pub const SOURCE_RULES: [Rule; 6] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6];
+pub const SOURCE_RULES: [Rule; 9] = [
+    Rule::R1,
+    Rule::R2,
+    Rule::R3,
+    Rule::R4,
+    Rule::R5,
+    Rule::R6,
+    Rule::R7,
+    Rule::R8,
+    Rule::R9,
+];
 
 impl Rule {
     /// Stable rule identifier as used in `allow(...)` directives.
@@ -40,6 +63,9 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
+            Rule::R8 => "R8",
+            Rule::R9 => "R9",
             Rule::S0 => "S0",
             Rule::S1 => "S1",
         }
@@ -54,8 +80,8 @@ impl Rule {
     /// Severity this rule reports at.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::R1 | Rule::R4 | Rule::R5 | Rule::S0 => Severity::Error,
-            Rule::R2 | Rule::R3 | Rule::R6 | Rule::S1 => Severity::Warning,
+            Rule::R1 | Rule::R4 | Rule::R5 | Rule::R7 | Rule::S0 => Severity::Error,
+            Rule::R2 | Rule::R3 | Rule::R6 | Rule::R8 | Rule::R9 | Rule::S1 => Severity::Warning,
         }
     }
 
@@ -89,6 +115,25 @@ impl Rule {
                  matrix-free entry front (LarConfig/LassoCdConfig/cross_validate/fit); \
                  the full K×M matrix is 8 GB at K=10^3, M=10^6 — solve through \
                  AtomSource (DictionarySource / CachedSource) instead"
+            }
+            Rule::R7 => {
+                "non-associative parallel reduction: a write inside an rsm_runtime \
+                 worker closure (par_chunks_reduce map / par_map_indexed fn) whose \
+                 target is rooted outside the closure; partial order depends on \
+                 thread count — combine through the in-order fold argument (the \
+                 def-use trace is printed)"
+            }
+            Rule::R8 => {
+                "tolerance hygiene: a float literal of tolerance magnitude (0 < |v| \
+                 < 1e-3) flowing into a comparison or max/min guard in a library \
+                 crate, inline or through a let binding; name it in rsm_linalg::tol \
+                 or a local documented const (the def-use trace is printed)"
+            }
+            Rule::R9 => {
+                "NaN-blind comparison: partial_cmp().unwrap()/expect(), an \
+                 order-sensitive combinator keyed on a raw float compare, or an \
+                 exact == on a division/ln/sqrt-tainted value; use total_cmp or a \
+                 tol helper (the def-use trace is printed)"
             }
             Rule::S0 => "suppression directive without a written reason (or unknown rule id)",
             Rule::S1 => "suppression directive that matched no diagnostic (stale allow)",
@@ -138,11 +183,21 @@ pub struct Diagnostic {
     /// violation site, one `key (file:line)` frame per element, root
     /// first. Empty for local rules.
     pub chain: Vec<String>,
+    /// For the dataflow rules (R7/R8/R9): the def-use trace — decl
+    /// site first, flow steps, sink last (always ≥ 2 frames when
+    /// present). Empty for other rules.
+    pub trace: Vec<String>,
+    /// Fully qualified key of the enclosing function (graph node
+    /// format, e.g. `core::lar::LarConfig::fit`) when the finding sits
+    /// inside one — the stable, line-number-free identity the baseline
+    /// ratchet keys on.
+    pub fn_key: Option<String>,
 }
 
 impl Diagnostic {
     /// `file:line: severity[rule] message` (clickable span first),
-    /// followed by one indented `via:` line per call-chain frame.
+    /// followed by one indented `via:` line per call-chain frame and
+    /// one `flow:` line per def-use trace frame.
     pub fn render(&self) -> String {
         let mut out = format!(
             "{}:{}: {}[{}] {}",
@@ -158,7 +213,25 @@ impl Diagnostic {
                 if i == 0 { "via:" } else { "  ->" }
             ));
         }
+        for (i, frame) in self.trace.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {} {frame}",
+                if i == 0 { "flow:" } else { "   ->" }
+            ));
+        }
         out
+    }
+
+    /// The baseline-ratchet identity of this finding: rule id plus the
+    /// fn-qualified location (falling back to the file path for
+    /// findings outside any function) — deliberately **without** line
+    /// numbers, so unrelated edits shifting code do not churn the
+    /// baseline.
+    pub fn baseline_key(&self) -> String {
+        match &self.fn_key {
+            Some(k) => format!("{} {k}", self.rule),
+            None => format!("{} {}", self.rule, self.file),
+        }
     }
 }
 
@@ -207,10 +280,12 @@ impl Report {
             .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     }
 
-    /// Machine-readable JSON document (schema version 2: adds the
-    /// per-diagnostic `chain` array and the optional `diff_base`).
+    /// Machine-readable JSON document (schema version 3: v2 added the
+    /// per-diagnostic `chain` array and the optional `diff_base`; v3
+    /// adds the def-use `trace` array and the fn-qualified `fn` key
+    /// for the dataflow rules R7–R9).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 2,\n");
+        let mut out = String::from("{\n  \"version\": 3,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!(
             "  \"suppressions_used\": {},\n",
@@ -225,15 +300,22 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
-            let chain = d
-                .chain
-                .iter()
-                .map(|f| format!("\"{}\"", json_escape(f)))
-                .collect::<Vec<_>>()
-                .join(", ");
+            let frames = |fs: &[String]| {
+                fs.iter()
+                    .map(|f| format!("\"{}\"", json_escape(f)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let chain = frames(&d.chain);
+            let trace = frames(&d.trace);
+            let fn_key = match &d.fn_key {
+                Some(k) => format!("\"{}\"", json_escape(k)),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
                 "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
-                 \"severity\": \"{}\", \"message\": \"{}\", \"chain\": [{chain}]}}",
+                 \"severity\": \"{}\", \"message\": \"{}\", \"fn\": {fn_key}, \
+                 \"chain\": [{chain}], \"trace\": [{trace}]}}",
                 json_escape(&d.file),
                 d.line,
                 d.rule,

@@ -677,6 +677,40 @@ fn scan_body(code: &[(usize, &Token)]) -> BodyScan {
     scan
 }
 
+/// Fn-qualified key (graph-node format, `crate::mods::Type::name`) of
+/// the **innermost** function item in `unit` whose span covers `line`
+/// — the stable identity the baseline ratchet uses for findings.
+/// `None` for module-scope lines outside every function.
+pub fn fn_key_at(unit: &Unit, line: u32) -> Option<String> {
+    let crate_label = unit
+        .class
+        .crate_name
+        .clone()
+        .unwrap_or_else(|| unit.rel.clone());
+    let file_mods = file_mod_segments(&unit.rel);
+    let mut best: Option<(u32, &FnItem)> = None;
+    for item in &unit.items {
+        let Some((start, end)) = item.body else {
+            continue;
+        };
+        let lo = item.line.min(unit.tokens[start].line);
+        let hi = unit.tokens[end.saturating_sub(1)].line;
+        if line < lo || line > hi {
+            continue;
+        }
+        let span = hi - lo;
+        if best.is_none_or(|(s, _)| span < s) {
+            best = Some((span, item));
+        }
+    }
+    best.map(|(_, item)| {
+        let mut segments = file_mods.clone();
+        segments.extend(item.path.iter().cloned());
+        segments.push(item.name.clone());
+        format!("{crate_label}::{}", segments.join("::"))
+    })
+}
+
 /// Derives the file-level module path from a workspace-relative path:
 /// `crates/core/src/a/b.rs` → `["a", "b"]`; `lib.rs`/`main.rs`/`mod.rs`
 /// contribute nothing; files outside `src/` (tests, fixtures) have an

@@ -17,11 +17,16 @@
 pub enum TokenKind {
     /// Identifier or keyword (`HashMap`, `unsafe`, `unwrap`, ...).
     Ident(String),
-    /// Numeric literal; `true` when it is a floating-point literal
-    /// (has a fractional part, an exponent, or an `f32`/`f64` suffix).
+    /// Numeric literal; `float` is `true` when it is a floating-point
+    /// literal (fractional part, exponent, or `f32`/`f64` suffix). The
+    /// raw text is preserved — the dataflow engine classifies literals
+    /// by value (tolerance-magnitude test for rule R8) and needs the
+    /// exact spelling for traces.
     Number {
         /// True for a floating-point literal.
         float: bool,
+        /// Raw literal text as written (`1e-300`, `0.5f64`, `1_000.0`).
+        text: String,
     },
     /// String, raw-string, byte-string or char literal. The raw text
     /// (quotes/fences included) is preserved so flow-aware rules can
@@ -64,8 +69,29 @@ impl Token {
 
     /// True if this token is a floating-point numeric literal.
     pub fn is_float(&self) -> bool {
-        matches!(self.kind, TokenKind::Number { float: true })
+        matches!(self.kind, TokenKind::Number { float: true, .. })
     }
+
+    /// The raw numeric-literal text, if this token is a number.
+    pub fn num_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Number { text, .. } => Some(text.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Parses the numeric value of a float-literal's raw text, tolerating
+/// underscore separators and `f32`/`f64` type suffixes. Returns `None`
+/// for text that is not a parseable float (integers parse fine — an
+/// exponent or fraction is not required).
+pub fn float_literal_value(text: &str) -> Option<f64> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let cleaned = cleaned
+        .strip_suffix("f64")
+        .or_else(|| cleaned.strip_suffix("f32"))
+        .unwrap_or(&cleaned);
+    cleaned.parse::<f64>().ok()
 }
 
 /// Lexes `src` into a token vector. Never fails: unrecognized bytes
@@ -323,12 +349,8 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
-        let float = !hex_or_bin
-            && (text.contains('.')
-                || text.ends_with("f32")
-                || text.ends_with("f64")
-                || (text.contains('e') || text.contains('E')));
-        self.push(TokenKind::Number { float }, line);
+        let float = !hex_or_bin && is_float_text(&text);
+        self.push(TokenKind::Number { float, text }, line);
     }
 
     fn punct(&mut self, line: u32) {
@@ -346,6 +368,40 @@ impl Lexer {
         };
         self.push(TokenKind::Punct(fused), line);
     }
+}
+
+/// Classifies a decimal numeric literal's text as float or integer.
+///
+/// Float forms: a fractional part (`1_000.0`, `1.`), an `f32`/`f64`
+/// suffix (`0.5f64`, `3f64`), or a real exponent — `e`/`E` directly
+/// after the digit run, followed by an optionally signed digit run
+/// (`1e-300`, `2E6`). A bare `e` inside an *integer type suffix*
+/// (`10usize`, `100_000usize`) is not an exponent; the v2 lexer
+/// misclassified those as floats.
+fn is_float_text(text: &str) -> bool {
+    const INT_SUFFIXES: [&str; 12] = [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+    ];
+    let digits: String = text.chars().filter(|&c| c != '_').collect();
+    if INT_SUFFIXES.iter().any(|s| digits.ends_with(s)) {
+        return false;
+    }
+    if digits.ends_with("f32") || digits.ends_with("f64") || digits.contains('.') {
+        return true;
+    }
+    // Exponent: `e`/`E` right after leading digits, then `[+-]?[0-9]+`.
+    let bytes = digits.as_bytes();
+    let Some(e_at) = digits.find(['e', 'E']) else {
+        return false;
+    };
+    if e_at == 0 || !bytes[..e_at].iter().all(u8::is_ascii_digit) {
+        return false;
+    }
+    let mut rest = &bytes[e_at + 1..];
+    if let [b'+' | b'-', tail @ ..] = rest {
+        rest = tail;
+    }
+    !rest.is_empty() && rest.iter().all(u8::is_ascii_digit)
 }
 
 #[cfg(test)]
@@ -371,29 +427,79 @@ mod tests {
         );
     }
 
+    fn is_float(k: &TokenKind) -> bool {
+        matches!(k, TokenKind::Number { float: true, .. })
+    }
+
+    fn is_int(k: &TokenKind) -> bool {
+        matches!(k, TokenKind::Number { float: false, .. })
+    }
+
     #[test]
     fn float_detection() {
-        assert!(matches!(kinds("0.0")[0], TokenKind::Number { float: true }));
-        assert!(matches!(
-            kinds("1e-9")[0],
-            TokenKind::Number { float: true }
-        ));
-        assert!(matches!(
-            kinds("3f64")[0],
-            TokenKind::Number { float: true }
-        ));
-        assert!(matches!(kinds("42")[0], TokenKind::Number { float: false }));
-        assert!(matches!(
-            kinds("0xff")[0],
-            TokenKind::Number { float: false }
-        ));
+        assert!(is_float(&kinds("0.0")[0]));
+        assert!(is_float(&kinds("1e-9")[0]));
+        assert!(is_float(&kinds("3f64")[0]));
+        assert!(is_int(&kinds("42")[0]));
+        assert!(is_int(&kinds("0xff")[0]));
         // `1.max(2)` is an integer method call, not a float.
-        let ks = kinds("1.max(2)");
-        assert!(matches!(ks[0], TokenKind::Number { float: false }));
+        assert!(is_int(&kinds("1.max(2)")[0]));
         // Range `0..n` keeps the integer intact.
         let ks = kinds("0..n");
-        assert!(matches!(ks[0], TokenKind::Number { float: false }));
+        assert!(is_int(&ks[0]));
         assert_eq!(ks[1], TokenKind::Punct(".".into()));
+    }
+
+    #[test]
+    fn exponent_forms_are_floats() {
+        for lit in ["1e-300", "1e300", "1E+6", "2e9", "1.5e-12", "1e-300f64"] {
+            assert!(is_float(&kinds(lit)[0]), "{lit} should be a float");
+        }
+        // A negative exponent stays one token (sign after e is glued).
+        let ks = kinds("x < 1e-300;");
+        assert!(ks.iter().any(is_float), "{ks:?}");
+        assert!(!ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Punct(p) if p == "-")));
+    }
+
+    #[test]
+    fn typed_suffixes_classify_correctly() {
+        // f32/f64 suffixes make a float even with no dot or exponent...
+        for lit in ["0.5f64", "3f32", "1_000f64"] {
+            assert!(is_float(&kinds(lit)[0]), "{lit} should be a float");
+        }
+        // ...while integer type suffixes never do. (The v2 lexer called
+        // `10usize` a float because the suffix contains an `e`.)
+        for lit in [
+            "10usize",
+            "100_000usize",
+            "7isize",
+            "255u8",
+            "42i64",
+            "1e3usize",
+        ] {
+            assert!(is_int(&kinds(lit)[0]), "{lit} should be an integer");
+        }
+    }
+
+    #[test]
+    fn underscore_separators_are_transparent() {
+        assert!(is_float(&kinds("1_000.0")[0]));
+        assert!(is_float(&kinds("1_0e-1_2")[0]));
+        assert!(is_int(&kinds("1_000_000")[0]));
+        assert_eq!(float_literal_value("1_000.0"), Some(1000.0));
+    }
+
+    #[test]
+    fn number_text_is_preserved_and_parseable() {
+        let ts = lex("a.max(1e-300); b < 0.5f64;");
+        let nums: Vec<&str> = ts.iter().filter_map(Token::num_text).collect();
+        assert_eq!(nums, vec!["1e-300", "0.5f64"]);
+        assert_eq!(float_literal_value("1e-300"), Some(1e-300));
+        assert_eq!(float_literal_value("0.5f64"), Some(0.5));
+        assert_eq!(float_literal_value("2"), Some(2.0));
+        assert_eq!(float_literal_value("not a number"), None);
     }
 
     #[test]

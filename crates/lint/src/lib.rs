@@ -15,12 +15,21 @@
 //! | R4   | no nondeterminism read (wall clock, thread identity, env) reachable from a `pub` fn, except the `RSM_THREADS` shim |
 //! | R5   | no `unsafe` anywhere |
 //! | R6   | no path from a matrix-free entry front to `design_matrix()` |
+//! | R7   | no accumulation crossing into a parallel worker closure — combine through the in-order fold |
+//! | R8   | no magic tolerance literal (0 < \|v\| < 1e-3) in a comparison/guard — name it in `rsm_linalg::tol` or a local `const` |
+//! | R9   | no NaN-blind comparison (`partial_cmp().unwrap()`, raw-float sort keys, tainted `==`) |
 //!
 //! R3/R4/R6 are **interprocedural** (v2): every file is item-parsed
 //! ([`parse`]), a workspace call graph is built ([`graph`]), and a
 //! diagnostic fires only when a violation site is *reachable* from the
 //! rule's root set — with the offending call chain printed. R1/R2/R5
-//! remain purely lexical.
+//! remain purely lexical. R7/R8/R9 are **dataflow** rules (v3): each
+//! function body is lowered to a statement IR + CFG ([`mod@cfg`]) and a
+//! float-taint / constant-propagation fixpoint ([`dataflow`]) drives
+//! the sinks — every finding carries a def-use trace (decl → flow →
+//! sink). Known findings can be ratcheted via a committed baseline
+//! ([`baseline`], `check --baseline FILE`), keyed by rule +
+//! fn-qualified path so line drift never churns it.
 //!
 //! Violations are suppressed inline with
 //! `// rsm-lint: allow(R#) — reason` and every suppression must carry
@@ -33,6 +42,9 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod cfg;
+pub mod dataflow;
 pub mod diag;
 pub mod graph;
 pub mod lexer;

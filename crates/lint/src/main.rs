@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rsm-lint check [--format human|json|sarif] [--json] [--out FILE]
-//!                [--sarif-out FILE] [--diff BASE] [PATH...]
+//!                [--sarif-out FILE] [--diff BASE]
+//!                [--baseline FILE [--update-baseline]] [PATH...]
 //! rsm-lint graph [PATH...]
 //! rsm-lint rules [--json]
 //! ```
@@ -12,9 +13,14 @@
 //! files/directories, treating them as library-crate production code.
 //! `--diff BASE` still parses the whole workspace (the call graph is
 //! always global) but only emits diagnostics for files changed vs the
-//! git ref. `graph` prints the deterministic call-graph snapshot.
+//! git ref. `--baseline FILE` is the findings ratchet: known findings
+//! (keyed by rule + fn-qualified path, never line numbers) are
+//! filtered out and only *new* findings fail the run;
+//! `--update-baseline` rewrites FILE from the current findings instead
+//! of failing. `graph` prints the deterministic call-graph snapshot.
 //! Exit status: 0 clean, 1 diagnostics reported, 2 usage/IO error.
 
+use rsm_lint::baseline::Baseline;
 use rsm_lint::diag::SOURCE_RULES;
 use rsm_lint::{
     diag, find_workspace_root, lint_paths, lint_workspace, lint_workspace_diff, path_units, sarif,
@@ -45,7 +51,8 @@ rsm-lint — static analysis for determinism and numerical robustness
 
 USAGE:
   rsm-lint check [--format human|json|sarif] [--json] [--out FILE]
-                 [--sarif-out FILE] [--diff BASE] [PATH...]
+                 [--sarif-out FILE] [--diff BASE]
+                 [--baseline FILE [--update-baseline]] [PATH...]
   rsm-lint graph [PATH...]
   rsm-lint rules [--json]
 
@@ -57,7 +64,10 @@ scanned; explicit paths are linted as library-crate production code.
 writes a SARIF 2.1.0 document to FILE, both while keeping the chosen
 stdout format. --diff BASE parses the full workspace (reachability is
 always global) but emits diagnostics only for files changed vs the
-git ref BASE, plus untracked files.
+git ref BASE, plus untracked files. --baseline FILE filters findings
+accepted by the committed ratchet (keys are rule + fn-qualified path,
+never line numbers) so only new findings fail; --update-baseline
+rewrites FILE from the current findings and exits clean.
 graph prints the deterministic workspace call-graph snapshot used by
 the interprocedural rules (R3/R4/R6).
 Suppress a finding with `// rsm-lint: allow(R#) — reason` (the reason
@@ -72,6 +82,8 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut out_file: Option<String> = None;
     let mut sarif_file: Option<String> = None;
     let mut diff_base: Option<String> = None;
+    let mut baseline_file: Option<String> = None;
+    let mut update_baseline = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -93,6 +105,11 @@ fn run(args: &[String]) -> Result<bool, String> {
                 let b = it.next().ok_or("--diff requires a git ref argument")?;
                 diff_base = Some(b.clone());
             }
+            "--baseline" => {
+                let f = it.next().ok_or("--baseline requires a file argument")?;
+                baseline_file = Some(f.clone());
+            }
+            "--update-baseline" => update_baseline = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(true);
@@ -108,13 +125,20 @@ fn run(args: &[String]) -> Result<bool, String> {
         return Err(format!("unknown format '{format}' (human|json|sarif)"));
     }
     match cmd.as_str() {
-        "check" => cmd_check(
-            &format,
-            out_file.as_deref(),
-            sarif_file.as_deref(),
-            diff_base.as_deref(),
-            &paths,
-        ),
+        "check" => {
+            if update_baseline && baseline_file.is_none() {
+                return Err("--update-baseline requires --baseline FILE".into());
+            }
+            cmd_check(
+                &format,
+                out_file.as_deref(),
+                sarif_file.as_deref(),
+                diff_base.as_deref(),
+                baseline_file.as_deref(),
+                update_baseline,
+                &paths,
+            )
+        }
         "graph" => {
             cmd_graph(&paths)?;
             Ok(true)
@@ -142,9 +166,11 @@ fn cmd_check(
     out_file: Option<&str>,
     sarif_file: Option<&str>,
     diff_base: Option<&str>,
+    baseline_file: Option<&str>,
+    update_baseline: bool,
     paths: &[PathBuf],
 ) -> Result<bool, String> {
-    let report = match (paths.is_empty(), diff_base) {
+    let mut report = match (paths.is_empty(), diff_base) {
         (true, None) => lint_workspace(&workspace_root()?)?,
         (true, Some(base)) => lint_workspace_diff(&workspace_root()?, base)?,
         (false, None) => lint_paths(paths)?,
@@ -152,6 +178,27 @@ fn cmd_check(
             return Err("--diff applies to workspace runs; drop the explicit paths".into())
         }
     };
+    if let Some(f) = baseline_file {
+        if update_baseline {
+            let snapshot = Baseline::from_report(&report);
+            snapshot.save(std::path::Path::new(f))?;
+            eprintln!(
+                "rsm-lint: baseline {f} updated ({} key{})",
+                snapshot.keys.len(),
+                if snapshot.keys.len() == 1 { "" } else { "s" }
+            );
+            report.diagnostics.clear();
+        } else {
+            let baseline = Baseline::load(std::path::Path::new(f))?;
+            let known = baseline.filter_new(&mut report);
+            if known > 0 {
+                eprintln!(
+                    "rsm-lint: {known} known finding{} accepted by baseline {f}",
+                    if known == 1 { "" } else { "s" }
+                );
+            }
+        }
+    }
     if let Some(f) = out_file {
         std::fs::write(f, report.to_json()).map_err(|e| format!("cannot write {f}: {e}"))?;
     }

@@ -1,6 +1,9 @@
-//! The rule engine, v2: a **local pass** (R1/R2/R5, still purely
-//! lexical) plus three **interprocedural passes** (R3/R4/R6) driven by
-//! the workspace call graph in [`crate::graph`].
+//! The rule engine, v3: a **local pass** (R1/R2/R5, still purely
+//! lexical), three **interprocedural passes** (R3/R4/R6) driven by the
+//! workspace call graph in [`crate::graph`], and three **dataflow
+//! passes** (R7/R8/R9) driven by the per-function IR in [`crate::cfg`]
+//! / [`crate::dataflow`] — every R7–R9 finding carries a def-use trace
+//! (decl → flow → sink).
 //!
 //! The pipeline is two-phase: every file is lexed and item-parsed into
 //! a [`Unit`] first, the call graph is built over the *whole* unit set,
@@ -8,8 +11,9 @@
 //! which files *emit* diagnostics without changing what any diagnostic
 //! *means* — reachability is always computed on the full workspace.
 
+use crate::dataflow::{self, EventKind};
 use crate::diag::{Diagnostic, Rule};
-use crate::graph::{CallGraph, Unit};
+use crate::graph::{fn_key_at, CallGraph, Unit};
 use crate::lexer::{Token, TokenKind};
 use crate::suppress::SuppressionSet;
 
@@ -131,6 +135,8 @@ pub fn lint_units<F: Fn(&str) -> bool>(units: &[Unit], emit: F) -> crate::diag::
                         s.detail
                     ),
                     chain: chain.clone(),
+                    trace: Vec::new(),
+                    fn_key: Some(node.key.clone()),
                 });
             }
         }
@@ -154,6 +160,8 @@ pub fn lint_units<F: Fn(&str) -> bool>(units: &[Unit], emit: F) -> crate::diag::
                         s.detail
                     ),
                     chain: chain.clone(),
+                    trace: Vec::new(),
+                    fn_key: Some(node.key.clone()),
                 });
             }
         }
@@ -175,10 +183,14 @@ pub fn lint_units<F: Fn(&str) -> bool>(units: &[Unit], emit: F) -> crate::diag::
                               the dense path with an allow"
                         .into(),
                     chain: chain.clone(),
+                    trace: Vec::new(),
+                    fn_key: Some(node.key.clone()),
                 });
             }
         }
     }
+
+    dataflow_pass(units, &graph, &reach_pub, &mut raw);
 
     let mut report = crate::diag::Report {
         files_scanned: units.len(),
@@ -207,6 +219,142 @@ pub fn lint_source(file: &str, src: &str, class: &FileClass) -> (Vec<Diagnostic>
     (report.diagnostics, report.suppressions_used)
 }
 
+/// The dataflow rules: R7 (non-associative parallel reduction), R8
+/// (tolerance hygiene), R9 (NaN-blind comparison). Each function body
+/// is lowered to a statement IR + CFG ([`crate::cfg`]), a float-taint
+/// and constant-propagation fixpoint runs over it
+/// ([`dataflow::analyze`]), and the resulting events are gated by
+/// crate class and — for the tainted-`==` arm of R9 — by call-graph
+/// reachability from a public entry point. Every diagnostic carries
+/// the engine's def-use trace (decl → flow → sink).
+fn dataflow_pass(
+    units: &[Unit],
+    graph: &CallGraph,
+    reach_pub: &[crate::graph::Reach],
+    raw: &mut Vec<Diagnostic>,
+) {
+    // Same cumulative numbering as CallGraph::build: per unit, one
+    // module pseudo-node first, then items in parse order.
+    let mut unit_first_item = Vec::with_capacity(units.len());
+    let mut next = 0usize;
+    for unit in units {
+        unit_first_item.push(next + 1);
+        next += 1 + unit.items.len();
+    }
+
+    let mut seen: std::collections::BTreeSet<(String, u32, Rule)> =
+        std::collections::BTreeSet::new();
+    for (ui, unit) in units.iter().enumerate() {
+        let class = &unit.class;
+        if class.is_test_file
+            || !(class.is_lib_crate() || class.crate_name.as_deref() == Some("cli"))
+        {
+            continue;
+        }
+        let r8_in_scope = class.is_lib_crate() && !unit.rel.ends_with(TOL_MODULE);
+        let r9_in_scope = class.is_lib_crate();
+        for (oi, item) in unit.items.iter().enumerate() {
+            let Some(body) = item.body else { continue };
+            let ni = unit_first_item[ui] + oi;
+            let node = &graph.nodes[ni];
+            if node.is_test {
+                continue;
+            }
+            let code = dataflow::body_code(&unit.tokens, body);
+            for event in dataflow::analyze(&code, &unit.rel) {
+                let (rule, message) = match &event.kind {
+                    EventKind::CrossingWrite { entry, target, op } => (
+                        Rule::R7,
+                        format!(
+                            "`{target}` is written (`{op}`) from inside a `{entry}` \
+                             worker closure; worker execution order depends on the \
+                             thread count — accumulate into closure-local state and \
+                             combine partials through the in-order fold argument"
+                        ),
+                    ),
+                    EventKind::MagicTolerance { literal } => {
+                        if !r8_in_scope {
+                            continue;
+                        }
+                        (
+                            Rule::R8,
+                            format!(
+                                "magic tolerance literal `{literal}` in a comparison \
+                                 guard; name it as a `rsm_linalg::tol` constant (or a \
+                                 local `const`) so the tolerance is auditable"
+                            ),
+                        )
+                    }
+                    EventKind::BoundTolerance { name, literal } => {
+                        if !r8_in_scope {
+                            continue;
+                        }
+                        (
+                            Rule::R8,
+                            format!(
+                                "`{name}` binds the tolerance-magnitude literal \
+                                 `{literal}` and flows into a comparison guard; \
+                                 promote it to a named `rsm_linalg::tol` constant \
+                                 (or a local `const`)"
+                            ),
+                        )
+                    }
+                    EventKind::PartialCmpUnwrap => {
+                        if !r9_in_scope {
+                            continue;
+                        }
+                        (
+                            Rule::R9,
+                            "`partial_cmp(..).unwrap()` panics the moment a NaN \
+                             reaches the comparison; use `total_cmp` or make the \
+                             NaN policy explicit"
+                                .to_string(),
+                        )
+                    }
+                    EventKind::RawFloatSortKey { method } => {
+                        if !r9_in_scope {
+                            continue;
+                        }
+                        (
+                            Rule::R9,
+                            format!(
+                                "`{method}` with a raw float `partial_cmp` comparator \
+                                 is NaN-blind (NaN compares as None); use `total_cmp` \
+                                 for a total order"
+                            ),
+                        )
+                    }
+                    EventKind::TaintedFloatEq { ident } => {
+                        if !(r9_in_scope && reach_pub[ni].yes()) {
+                            continue;
+                        }
+                        (
+                            Rule::R9,
+                            format!(
+                                "`==` on `{ident}`, which carries div/ln/sqrt float \
+                                 taint on a publicly reachable path; NaN makes the \
+                                 join silently unequal — compare through \
+                                 rsm_linalg::tol instead"
+                            ),
+                        )
+                    }
+                };
+                if seen.insert((unit.rel.clone(), event.line, rule)) {
+                    raw.push(Diagnostic {
+                        file: unit.rel.clone(),
+                        line: event.line,
+                        rule,
+                        message,
+                        chain: Vec::new(),
+                        trace: event.trace.clone(),
+                        fn_key: Some(node.key.clone()),
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// The purely lexical rules: R1 (unordered maps), R2 (exact float
 /// compare), R5 (unsafe — applies even to test code).
 fn local_pass(unit: &Unit, raw: &mut Vec<Diagnostic>) {
@@ -226,6 +374,8 @@ fn local_pass(unit: &Unit, raw: &mut Vec<Diagnostic>) {
             rule,
             message,
             chain: Vec::new(),
+            trace: Vec::new(),
+            fn_key: fn_key_at(unit, line),
         });
     };
 

@@ -16,13 +16,16 @@ use crate::diag::{json_escape, Report, Rule, Severity};
 
 /// All rules advertised in the SARIF `tool.driver.rules` array, in
 /// stable id order.
-const ALL_RULES: [Rule; 8] = [
+const ALL_RULES: [Rule; 11] = [
     Rule::R1,
     Rule::R2,
     Rule::R3,
     Rule::R4,
     Rule::R5,
     Rule::R6,
+    Rule::R7,
+    Rule::R8,
+    Rule::R9,
     Rule::S0,
     Rule::S1,
 ];
@@ -70,6 +73,10 @@ pub fn to_sarif(report: &Report) -> String {
             text.push_str(if k == 0 { "\nvia: " } else { "\n  -> " });
             text.push_str(frame);
         }
+        for (k, frame) in d.trace.iter().enumerate() {
+            text.push_str(if k == 0 { "\nflow: " } else { "\n   -> " });
+            text.push_str(frame);
+        }
         out.push_str(&format!(
             "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"{}\",\n          \
              \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
@@ -105,6 +112,8 @@ mod tests {
                     "core::lar::fit (crates/core/src/lar.rs:30)".into(),
                     "core::lar::step (crates/core/src/lar.rs:41)".into(),
                 ],
+                trace: vec!["`tol` = 1e-9 (crates/core/src/lar.rs:40)".into()],
+                fn_key: Some("core::lar::step".into()),
             }],
             files_scanned: 1,
             suppressions_used: 0,
@@ -127,8 +136,9 @@ mod tests {
         ] {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
         }
-        // The chain survives in the message text.
+        // The chain and the def-use trace survive in the message text.
         assert!(doc.contains("via: core::lar::fit"));
+        assert!(doc.contains("flow: `tol` = 1e-9"));
     }
 
     #[test]

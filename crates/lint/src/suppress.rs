@@ -140,6 +140,8 @@ impl SuppressionSet {
                 rule: Rule::S0,
                 message: msg.clone(),
                 chain: Vec::new(),
+                trace: Vec::new(),
+                fn_key: None,
             });
         }
         for s in &self.entries {
@@ -153,6 +155,8 @@ impl SuppressionSet {
                         ids(&s.rules)
                     ),
                     chain: Vec::new(),
+                    trace: Vec::new(),
+                    fn_key: None,
                 });
             }
         }
@@ -199,7 +203,7 @@ mod tests {
 
     #[test]
     fn unknown_rule_is_malformed() {
-        let toks = lex("// rsm-lint: allow(R9) — no such rule\n");
+        let toks = lex("// rsm-lint: allow(R42) — no such rule\n");
         let set = SuppressionSet::collect(&toks);
         assert!(set.entries.is_empty());
         assert_eq!(set.malformed.len(), 1);

@@ -1,0 +1,155 @@
+//! Findings-ratchet contract: a committed baseline accepts exactly the
+//! findings it was built from — same rule in the same function — and
+//! anything new still fails the build. The workspace baseline shipped
+//! at the repo root must stay empty (the ratchet is at zero).
+
+use rsm_lint::baseline::Baseline;
+use rsm_lint::{find_workspace_root, lint_paths, Rule};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(&manifest).expect("enclosing workspace")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn baseline_roundtrip_accepts_its_own_findings() {
+    let report = lint_paths(&[fixture("r9_nan_blind.rs")]).expect("fixture readable");
+    assert_eq!(report.diagnostics.len(), 3);
+
+    let baseline = Baseline::from_report(&report);
+    // Keys are fn-qualified, so moving a finding to another function
+    // re-trips the ratchet even at the same file/rule.
+    assert_eq!(baseline.keys.len(), 3, "{:?}", baseline.keys);
+
+    // Text round-trip is lossless.
+    let reparsed = Baseline::parse(&baseline.to_json()).expect("canonical form parses");
+    assert_eq!(reparsed, baseline);
+
+    // Filtering a fresh identical run leaves nothing new.
+    let mut again = lint_paths(&[fixture("r9_nan_blind.rs")]).expect("fixture readable");
+    let known = baseline.filter_new(&mut again);
+    assert_eq!(known, 3);
+    assert!(again.diagnostics.is_empty(), "{:?}", again.diagnostics);
+}
+
+#[test]
+fn new_findings_in_other_functions_trip_the_ratchet() {
+    // Baseline built from the R9 fixture only; a combined run over the
+    // R8 fixture as well must surface exactly the R8 findings as new.
+    let accepted = Baseline::from_report(
+        &lint_paths(&[fixture("r9_nan_blind.rs")]).expect("fixture readable"),
+    );
+    let mut combined = lint_paths(&[fixture("r8_magic_tolerance.rs"), fixture("r9_nan_blind.rs")])
+        .expect("fixtures readable");
+    assert_eq!(combined.diagnostics.len(), 5);
+
+    let known = accepted.filter_new(&mut combined);
+    assert_eq!(known, 3);
+    let rules: Vec<Rule> = combined.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(
+        rules,
+        vec![Rule::R8, Rule::R8],
+        "{:?}",
+        combined.diagnostics
+    );
+}
+
+#[test]
+fn committed_workspace_baseline_is_empty_and_canonical() {
+    let path = workspace_root().join("lint-baseline.json");
+    let text = std::fs::read_to_string(&path).expect("lint-baseline.json is committed");
+    let baseline = Baseline::parse(&text).expect("committed baseline parses");
+    // The workspace is clean under R1–R9; the ratchet starts at zero
+    // and must never grow without an explicit `--update-baseline`.
+    assert!(
+        baseline.keys.is_empty(),
+        "ratchet regressed — accepted keys: {:?}",
+        baseline.keys
+    );
+    // The file is in the canonical form `--update-baseline` writes, so
+    // regeneration never produces a spurious diff.
+    assert_eq!(text, baseline.to_json());
+}
+
+#[test]
+fn check_binary_honors_the_ratchet_flags() {
+    let bin = env!("CARGO_BIN_EXE_rsm-lint");
+    let root = workspace_root();
+    let dir = std::env::temp_dir().join("rsm_lint_ratchet_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let baseline_path = dir.join("baseline.json");
+    let firing = root.join("crates/lint/tests/fixtures/r7_parallel_write.rs");
+
+    // Without a baseline the firing fixture fails the build.
+    let dirty = std::process::Command::new(bin)
+        .arg("check")
+        .arg(&firing)
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert_eq!(dirty.status.code(), Some(1));
+
+    // --update-baseline snapshots the findings and exits clean.
+    let update = std::process::Command::new(bin)
+        .args(["check", "--baseline"])
+        .arg(&baseline_path)
+        .arg("--update-baseline")
+        .arg(&firing)
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert!(
+        update.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&update.stdout),
+        String::from_utf8_lossy(&update.stderr)
+    );
+
+    // With the baseline the same findings are known: exit 0, and the
+    // known count is reported on stderr.
+    let ratcheted = std::process::Command::new(bin)
+        .args(["check", "--baseline"])
+        .arg(&baseline_path)
+        .arg(&firing)
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert!(
+        ratcheted.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ratcheted.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&ratcheted.stderr).contains("3 known findings"),
+        "{}",
+        String::from_utf8_lossy(&ratcheted.stderr)
+    );
+
+    // A finding the baseline has not seen still fails the build.
+    let fresh = std::process::Command::new(bin)
+        .args(["check", "--baseline"])
+        .arg(&baseline_path)
+        .arg(root.join("crates/lint/tests/fixtures/r9_nan_blind.rs"))
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert_eq!(fresh.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&fresh.stdout).contains("[R9]"));
+
+    // --update-baseline without --baseline is a usage error.
+    let usage = std::process::Command::new(bin)
+        .args(["check", "--update-baseline"])
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert_eq!(usage.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,35 @@
+//! R7 fixture: accumulation crossing into a parallel worker closure.
+//! Worker execution order depends on the thread count, so writes to
+//! captured state from inside a worker are order-dependent.
+
+/// Sums squares by writing into captured outer state from the worker.
+pub fn racy_sum(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut hits = vec![0.0; xs.len()];
+    rsm_runtime::par_chunks_reduce(
+        xs.len(),
+        8,
+        |r| {
+            let mut part = 0.0;
+            for i in r {
+                total += xs[i] * xs[i];
+                hits[i] = 1.0;
+                part += xs[i];
+            }
+            part
+        },
+        |p: f64| total += p,
+    );
+    total + hits.len() as f64
+}
+
+/// Writes result slots through a captured buffer instead of returning
+/// the per-index value.
+pub fn racy_fill(n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    rsm_runtime::par_map_indexed(n, |i| {
+        out[i] = i as f64;
+        i as f64
+    });
+    out
+}

@@ -1,0 +1,45 @@
+//! R7 negative fixture: the sanctioned deterministic pattern. Worker
+//! closures accumulate into closure-local state only; partials are
+//! combined on the calling thread through the in-order fold argument.
+
+/// Chunked sum: map workers are pure, the fold owns the accumulator.
+pub fn deterministic_sum(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    rsm_runtime::par_chunks_reduce(
+        xs.len(),
+        8,
+        |r| {
+            let mut part = 0.0;
+            for i in r {
+                part += xs[i];
+            }
+            part
+        },
+        |p: f64| total += p,
+    );
+    total
+}
+
+/// Block assembly: each worker builds an owned block; the fold
+/// concatenates in chunk order. Writes through `block` are local even
+/// though the index arithmetic reads captured values.
+pub fn deterministic_blocks(rows: usize, cols: usize) -> Vec<f64> {
+    let mut data = Vec::with_capacity(rows * cols);
+    rsm_runtime::par_chunks_reduce(
+        rows,
+        4,
+        |rr| {
+            let mut block = vec![0.0; rr.len() * cols];
+            let start = rr.start;
+            for i in rr {
+                let row = &mut block[(i - start) * cols..(i - start + 1) * cols];
+                for v in row.iter_mut() {
+                    *v = i as f64;
+                }
+            }
+            block
+        },
+        |block: Vec<f64>| data.extend_from_slice(&block),
+    );
+    data
+}

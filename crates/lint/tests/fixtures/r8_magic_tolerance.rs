@@ -1,0 +1,14 @@
+//! R8 fixture: magic tolerance literals reaching comparison guards —
+//! one inline, one through a let-bound variable (const-prop traces the
+//! flow).
+
+/// Inline tolerance literal in a comparison.
+pub fn stalls(step: f64) -> bool {
+    step < 1e-14
+}
+
+/// Let-bound tolerance flowing into a max guard two statements later.
+pub fn floors(n: f64) -> f64 {
+    let eps = 1e-12;
+    n.max(eps)
+}

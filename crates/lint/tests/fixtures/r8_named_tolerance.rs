@@ -1,0 +1,23 @@
+//! R8 negative fixture: sanctioned tolerance spellings. Named local
+//! `const`s and `tol::` constants carry no constant-propagation fact,
+//! and structural floats (0.5, 1.0) are not tolerance-magnitude.
+
+/// A named local constant is the sanctioned in-function form.
+pub fn stalls(step: f64) -> bool {
+    const STEP_TOL: f64 = 1e-14;
+    step < STEP_TOL
+}
+
+/// A shared `tol::` constant is the sanctioned cross-crate form.
+pub fn floors(n: f64) -> f64 {
+    n.max(tol::NORM_FLOOR)
+}
+
+/// Structural floats in comparisons are not tolerances.
+pub fn clamp_half(x: f64) -> f64 {
+    if x < 0.5 {
+        0.0
+    } else {
+        x
+    }
+}

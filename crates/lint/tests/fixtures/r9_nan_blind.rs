@@ -1,0 +1,24 @@
+//! R9 fixture: NaN-blind comparisons — a raw-float sort key, a
+//! `partial_cmp().unwrap()`, and an exact `==` on a division-tainted
+//! value reachable from a public entry point.
+
+/// Raw `partial_cmp` comparator: NaN compares as None, so the order is
+/// undefined under NaN (no unwrap here — R9 fires without R3).
+pub fn peak(xs: &[f64]) -> usize {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order[0]
+}
+
+/// Unreachable helper: R3 stays quiet (no public path), but the
+/// NaN-panic hazard of `partial_cmp().unwrap()` is local and fires.
+fn compare(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+/// `r` carries division taint: `num / den` is NaN for 0/0, and NaN
+/// makes the exact `==` silently unequal.
+pub fn ratio_matches(num: f64, den: f64, target: f64) -> bool {
+    let r = num / den;
+    r == target
+}

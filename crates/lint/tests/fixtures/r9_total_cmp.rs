@@ -1,0 +1,17 @@
+//! R9 negative fixture: total orders and tolerance-based equality.
+//! `total_cmp` is NaN-safe, and an untainted `==` join between plain
+//! products is outside R9's taint gate.
+
+/// `total_cmp` gives a total order — NaN sorts deterministically.
+pub fn peak(xs: &[f64]) -> usize {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    order[0]
+}
+
+/// Multiplication carries no NaN taint the engine tracks, and the
+/// comparison routes through the tolerance helper anyway.
+pub fn product_matches(num: f64, den: f64, target: f64) -> bool {
+    let r = num * den;
+    tol::approx_eq(r, target, tol::DEFAULT_REL_TOL, tol::DEFAULT_ABS_TOL)
+}

@@ -121,6 +121,117 @@ fn r6_positive_definition_and_suppression() {
 }
 
 #[test]
+fn r7_positive_with_trace() {
+    // Two crossing writes in the par_chunks_reduce worker, one in the
+    // par_map_indexed worker; the fold-closure accumulation is exempt.
+    assert_eq!(
+        rules_for("r7_parallel_write.rs"),
+        vec![Rule::R7, Rule::R7, Rule::R7]
+    );
+    let report = lint_paths(&[fixture("r7_parallel_write.rs")]).expect("fixture readable");
+    for d in &report.diagnostics {
+        assert!(d.trace.len() >= 3, "decl→write→why trace: {:?}", d.trace);
+        assert!(d.trace[0].contains("declared outside"), "{:?}", d.trace);
+        assert!(d.trace[1].contains("worker closure"), "{:?}", d.trace);
+        assert!(d.fn_key.is_some(), "{d:?}");
+    }
+    let targets: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter_map(|d| d.message.split('`').nth(1))
+        .collect();
+    assert_eq!(
+        targets,
+        vec!["total", "hits", "out"],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn r7_sanctioned_fold_is_clean() {
+    // Closure-local accumulators, owned blocks (even with captured
+    // reads in the index arithmetic), and the in-order fold are all
+    // sanctioned.
+    assert!(rules_for("r7_sanctioned_fold.rs").is_empty());
+}
+
+#[test]
+fn r8_positive_inline_and_const_prop() {
+    assert_eq!(rules_for("r8_magic_tolerance.rs"), vec![Rule::R8, Rule::R8]);
+    let report = lint_paths(&[fixture("r8_magic_tolerance.rs")]).expect("fixture readable");
+    // The let-bound case traces decl → sink across statements.
+    let bound = report
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("`eps`"))
+        .expect("const-prop finding");
+    assert!(bound.trace.len() >= 2, "{:?}", bound.trace);
+    assert!(
+        bound.trace[0].contains("`eps` = 1e-12"),
+        "{:?}",
+        bound.trace
+    );
+    assert!(
+        bound.trace.last().unwrap().contains("guard"),
+        "{:?}",
+        bound.trace
+    );
+    // fn-qualified keys anchor the ratchet.
+    assert_eq!(bound.fn_key.as_deref(), Some("linalg::floors"), "{bound:?}");
+}
+
+#[test]
+fn r8_named_constants_are_clean() {
+    assert!(rules_for("r8_named_tolerance.rs").is_empty());
+}
+
+#[test]
+fn r9_positive_all_three_arms() {
+    // sort_by(partial_cmp), partial_cmp().unwrap(), tainted ==.
+    assert_eq!(
+        rules_for("r9_nan_blind.rs"),
+        vec![Rule::R9, Rule::R9, Rule::R9]
+    );
+    let report = lint_paths(&[fixture("r9_nan_blind.rs")]).expect("fixture readable");
+    let eq = report
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("`==`"))
+        .expect("tainted-eq finding");
+    assert!(
+        eq.trace.iter().any(|f| f.contains("division")),
+        "{:?}",
+        eq.trace
+    );
+}
+
+#[test]
+fn r9_total_cmp_and_tol_are_clean() {
+    assert!(rules_for("r9_total_cmp.rs").is_empty());
+}
+
+#[test]
+fn every_dataflow_finding_carries_a_trace() {
+    // The v3 contract: R7/R8/R9 diagnostics always explain themselves
+    // with a def-use trace (decl → flow → sink) and an fn-qualified
+    // key for the baseline ratchet.
+    let report = lint_paths(&[fixture("")]).expect("fixtures dir readable");
+    let dataflow: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| matches!(d.rule, Rule::R7 | Rule::R8 | Rule::R9))
+        .collect();
+    assert!(!dataflow.is_empty());
+    for d in dataflow {
+        assert!(d.trace.len() >= 2, "trace too short: {d:?}");
+        assert!(d.fn_key.is_some(), "missing fn key: {d:?}");
+        let rendered = d.render();
+        assert!(rendered.contains("flow:"), "{rendered}");
+    }
+}
+
+#[test]
 fn reasoned_suppressions_make_the_file_clean() {
     let report = lint_paths(&[fixture("suppressed.rs")]).expect("fixture readable");
     assert!(report.is_clean(), "{:?}", report.diagnostics);
@@ -143,10 +254,14 @@ fn whole_corpus_diagnostic_census() {
     // directory walker and gives a single census that must stay in
     // sync with the per-file assertions above.
     let report = lint_paths(&[fixture("")]).expect("fixtures dir readable");
-    assert_eq!(report.files_scanned, 15);
+    assert_eq!(report.files_scanned, 21);
     // r1=6, r2=3, r3=2, r4=3, r5=2, bad_suppression=3, r6=2,
-    // v2_chain=1, v2_shim=1; the v2 negatives contribute nothing.
-    assert_eq!(report.diagnostics.len(), 6 + 3 + 2 + 3 + 2 + 3 + 2 + 1 + 1);
+    // v2_chain=1, v2_shim=1, r7=3, r8=2, r9=3; the v2 and dataflow
+    // negatives contribute nothing.
+    assert_eq!(
+        report.diagnostics.len(),
+        6 + 3 + 2 + 3 + 2 + 3 + 2 + 1 + 1 + 3 + 2 + 3
+    );
     // Deterministic ordering: report is sorted by (file, line, rule).
     let mut sorted = report.diagnostics.clone();
     sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -159,7 +274,7 @@ fn whole_corpus_diagnostic_census() {
 fn json_report_is_well_formed_enough() {
     let report = lint_paths(&[fixture("r5_unsafe.rs")]).expect("fixture readable");
     let json = report.to_json();
-    assert!(json.contains("\"version\": 2"));
+    assert!(json.contains("\"version\": 3"));
     assert!(json.contains("\"clean\": false"));
     assert!(json.contains("\"rule\": \"R5\""));
     assert!(json.contains("r5_unsafe.rs"));

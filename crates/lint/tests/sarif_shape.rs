@@ -61,7 +61,10 @@ fn sarif_document_has_the_2_1_0_required_shape() {
     // Every shipped rule is declared, with id + shortDescription + level.
     let rules = arr(obj(driver, "rules"));
     let ids: Vec<&str> = rules.iter().map(|r| string(obj(r, "id"))).collect();
-    assert_eq!(ids, ["R1", "R2", "R3", "R4", "R5", "R6", "S0", "S1"]);
+    assert_eq!(
+        ids,
+        ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "S0", "S1"]
+    );
     for rule in rules {
         assert!(!string(obj(obj(rule, "shortDescription"), "text")).is_empty());
         let level = string(obj(obj(rule, "defaultConfiguration"), "level"));

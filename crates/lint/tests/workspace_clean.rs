@@ -88,7 +88,7 @@ fn check_binary_exit_codes() {
         .expect("spawn rsm-lint");
     assert!(out.status.success());
     let written = std::fs::read_to_string(&artifact).expect("artifact written");
-    assert!(written.contains("\"version\": 2"));
+    assert!(written.contains("\"version\": 3"));
 
     // --format sarif emits a SARIF 2.1.0 document on stdout, and
     // --sarif-out writes it alongside whatever stdout format is active
@@ -117,7 +117,9 @@ fn rules_subcommand_documents_every_rule() {
         .expect("spawn rsm-lint");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for id in ["R1", "R2", "R3", "R4", "R5", "R6", "S0", "S1"] {
+    for id in [
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "S0", "S1",
+    ] {
         assert!(text.contains(id), "rules output lacks {id}: {text}");
     }
 }

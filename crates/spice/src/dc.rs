@@ -172,12 +172,16 @@ impl DcAnalysis {
             return Ok(self.finish(ckt, &x2));
         }
         // 3. Source stepping: ramp all independent sources.
+        // Gmin floor during stepping: keeps the Jacobian invertible on
+        // partially ramped sources even when the configured gmin is
+        // smaller (1 nS — far below any modeled conductance).
+        const STEPPING_GMIN: f64 = 1e-9;
         let mut x3 = seed;
         let steps = 20;
         for s in 1..=steps {
             let scale = s as f64 / steps as f64;
             if self
-                .newton(ckt, &mut x3, self.gmin.max(1e-9), scale)
+                .newton(ckt, &mut x3, self.gmin.max(STEPPING_GMIN), scale)
                 .is_err()
             {
                 return Err(SpiceError::NoConvergence {

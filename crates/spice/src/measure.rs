@@ -111,9 +111,12 @@ pub fn peak_magnitude(sweep: &AcSweep, node: NodeId) -> Result<(f64, f64)> {
         ));
     }
     // Parabolic fit through (log f, log |H|) at k−1, k, k+1.
+    // Below this curvature the parabola is numerically flat and the
+    // vertex offset is meaningless — fall back to the grid peak.
+    const FLAT_CURVATURE: f64 = 1e-30;
     let (y0, y1, y2) = (mag[k - 1].ln(), mag[k].ln(), mag[k + 1].ln());
     let denom = y0 - 2.0 * y1 + y2;
-    let delta = if denom.abs() < 1e-30 {
+    let delta = if denom.abs() < FLAT_CURVATURE {
         0.0
     } else {
         0.5 * (y0 - y2) / denom

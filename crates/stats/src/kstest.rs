@@ -58,12 +58,15 @@ fn kolmogorov_q(lambda: f64) -> f64 {
     if lambda <= 0.0 {
         return 1.0;
     }
+    // Series truncation: terms below f64 round-off of the leading term
+    // cannot change the sum.
+    const TERM_FLOOR: f64 = 1e-16;
     let mut sum = 0.0;
     let mut sign = 1.0;
     for k in 1..=100 {
         let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
         sum += sign * term;
-        if term < 1e-16 {
+        if term < TERM_FLOOR {
             break;
         }
         sign = -sign;

@@ -100,7 +100,10 @@ fn erfc_scaled(x: f64) -> f64 {
         let mut sum = x;
         let x2 = x * x;
         let mut n = 0usize;
-        while term.abs() > 1e-18 * sum.abs() && n < 200 {
+        // Relative series truncation, two decades under f64 epsilon so
+        // the truncated tail is invisible in the rounded sum.
+        const SERIES_REL_TOL: f64 = 1e-18;
+        while term.abs() > SERIES_REL_TOL * sum.abs() && n < 200 {
             n += 1;
             term *= -x2 / n as f64;
             sum += term / (2 * n + 1) as f64;

@@ -337,6 +337,106 @@ fn row_subset_views_match_dense_row_selection() {
     runtime::set_threads(0);
 }
 
+/// Serial reference for the sanctioned reduction pattern: fold the
+/// same fixed chunk grid in ascending order on one thread, no runtime
+/// involved. This is the op sequence `par_chunks_reduce` promises to
+/// reproduce at every thread count.
+fn serial_chunk_sum(xs: &[f64], chunk_len: usize) -> f64 {
+    let mut total = 0.0;
+    let mut start = 0;
+    while start < xs.len() {
+        let end = xs.len().min(start + chunk_len);
+        total += xs[start..end].iter().sum::<f64>();
+        start = end;
+    }
+    total
+}
+
+/// The sanctioned chunked reduction exactly as rsm-lint's R7 demands
+/// it: closure-local partials, combined through the in-order fold.
+fn sanctioned_chunk_sum(xs: &[f64], chunk_len: usize) -> f64 {
+    let mut total = 0.0;
+    runtime::par_chunks_reduce(
+        xs.len(),
+        chunk_len,
+        |r| xs[r].iter().sum::<f64>(),
+        |partial: f64| total += partial,
+    );
+    total
+}
+
+/// Decodes raw generator bits into a float spanning the full dynamic
+/// range: sign × mantissa in [1, 2) × 10^e with e ∈ [-321, 300], so
+/// the stream mixes subnormals (10⁻³²¹ < 2.2·10⁻³⁰⁸), huge values
+/// (±10³⁰⁰), and everything between — exactly the spreads where
+/// floating-point addition is least associative.
+fn adversarial_value(raw: u64) -> f64 {
+    let sign = if raw & 1 == 0 { 1.0 } else { -1.0 };
+    let exp = ((raw >> 1) % 622) as i32 - 321;
+    let mantissa = 1.0 + ((raw >> 11) % (1 << 20)) as f64 / f64::from(1 << 20);
+    sign * mantissa * 10f64.powi(exp)
+}
+
+#[test]
+fn denormal_and_huge_magnitude_reduction_is_thread_count_invariant() {
+    // Directed adversarial spread: the smallest subnormal, the normal /
+    // subnormal boundary, ±1e±300, exact cancellations, and ordinary
+    // magnitudes, tiled across many chunks.
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let pattern = [
+        5e-324,
+        -5e-324,
+        f64::MIN_POSITIVE,
+        1e300,
+        -1e300,
+        1e-300,
+        -1e-300,
+        1.0,
+        -0.125,
+        3.5e15,
+    ];
+    let xs: Vec<f64> = pattern.iter().cycle().take(730).copied().collect();
+    for chunk_len in [1usize, 3, 7, 64, 1024] {
+        let reference = serial_chunk_sum(&xs, chunk_len);
+        for &n in &THREAD_COUNTS {
+            runtime::set_threads(n);
+            let got = sanctioned_chunk_sum(&xs, chunk_len);
+            assert_eq!(
+                reference.to_bits(),
+                got.to_bits(),
+                "chunk_len {chunk_len} @ {n} threads: {reference} vs {got}"
+            );
+        }
+    }
+    runtime::set_threads(0);
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+    fn sanctioned_reduction_matches_serial_fold_on_adversarial_spreads(
+        raw in proptest::collection::vec(0u64..u64::MAX, 0..300),
+        chunk_len in 1usize..48,
+    ) {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let xs: Vec<f64> = raw.iter().copied().map(adversarial_value).collect();
+        let reference = serial_chunk_sum(&xs, chunk_len);
+        for t in [1usize, 4] {
+            runtime::set_threads(t);
+            let got = sanctioned_chunk_sum(&xs, chunk_len);
+            runtime::set_threads(0);
+            proptest::prop_assert_eq!(
+                reference.to_bits(),
+                got.to_bits(),
+                "threads = {}: {} vs {}",
+                t,
+                reference,
+                got
+            );
+        }
+    }
+}
+
 #[test]
 fn rsm_threads_env_knob_is_honored_unless_overridden() {
     let _guard = THREADS_LOCK.lock().unwrap();

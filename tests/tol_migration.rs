@@ -1,0 +1,100 @@
+//! Bit-exact regression guard for the tolerance-literal migration.
+//!
+//! PR 5 replaced the magic `1e-300` / `1e-14` / `1e-12` guard literals
+//! scattered through `crates/core` (lar.rs, omp.rs, lasso_cd.rs,
+//! star.rs) with named constants in `rsm_linalg::tol` (`NORM_FLOOR`,
+//! `STEP_REL_TOL`, `DEFAULT_ABS_TOL`). The constants carry the exact
+//! same values, so the LAR selection path on the seed problem must be
+//! **byte-identical** before and after the migration. The golden bit
+//! patterns below were captured on the pre-migration tree at one
+//! worker thread; any drift means a tolerance changed semantics, not
+//! just spelling.
+
+use sparse_rsm::core::lar::LarConfig;
+use sparse_rsm::linalg::{tol, Matrix};
+use sparse_rsm::runtime;
+use sparse_rsm::stats::NormalSampler;
+
+/// The seed problem from `parallel_equivalence.rs`: a 120×400 Gaussian
+/// sensing matrix with a 4-sparse response plus noise, seed 99.
+fn seed_problem() -> (Matrix, Vec<f64>) {
+    let (k, m) = (120, 400);
+    let mut s = NormalSampler::seed_from_u64(99);
+    let g = Matrix::from_fn(k, m, |_, _| s.sample());
+    let mut f = vec![0.0; k];
+    for &(j, v) in &[(3usize, 2.0), (41, -1.25), (160, 0.75), (399, 0.5)] {
+        for r in 0..k {
+            f[r] += v * g[(r, j)];
+        }
+    }
+    for fr in &mut f {
+        *fr += 0.02 * s.sample();
+    }
+    (g, f)
+}
+
+/// Residual ℓ₂ norms of the 12-step LAR path, captured pre-migration.
+const GOLDEN_RESIDUAL_BITS: [u64; 12] = [
+    0x4036c20b894a975a,
+    0x402e20114216ad49,
+    0x4026b91bfc108f94,
+    0x3fcefeefd29e9930,
+    0x3fcec12a2b36fdec,
+    0x3fce9f15840bd476,
+    0x3fcd73747ddde5c1,
+    0x3fc9f40327538dd3,
+    0x3fc9f08f3574917c,
+    0x3fc99786e352f313,
+    0x3fc991c9a09da84d,
+    0x3fc908fc6ed12920,
+];
+
+/// Final 12-atom model (atom index, coefficient bits), pre-migration.
+const GOLDEN_FINAL_COEFFS: [(usize, u64); 12] = [
+    (3, 0x3fffe58b25f98bb5),
+    (41, 0xbff3fa7c8387bf42),
+    (60, 0x3f64e4f58c2f5d1a),
+    (64, 0xbf29cd9a0588a1f8),
+    (103, 0x3f5898c878f686f9),
+    (104, 0x3f59988edb1efb1a),
+    (121, 0xbf2ea26e399397bc),
+    (160, 0x3fe7ecd93163150e),
+    (164, 0x3f2150cf97e74b8b),
+    (182, 0x3f5634249481610d),
+    (333, 0xbf3921585cf9bad4),
+    (399, 0x3fdf9b52768e48cf),
+];
+
+#[test]
+fn lar_path_on_seed_problem_is_byte_identical_to_pre_migration_golden() {
+    runtime::set_threads(1);
+    let (g, f) = seed_problem();
+    let path = LarConfig::new(12).fit(&g, &f).expect("LAR fit");
+    let got: Vec<u64> = path.residual_norms().iter().map(|r| r.to_bits()).collect();
+    assert_eq!(
+        got,
+        GOLDEN_RESIDUAL_BITS.to_vec(),
+        "LAR residual-norm sequence drifted from the pre-migration golden"
+    );
+    let model = path.final_model();
+    let coeffs: Vec<(usize, u64)> = model
+        .coefficients()
+        .iter()
+        .map(|&(j, c)| (j, c.to_bits()))
+        .collect();
+    assert_eq!(
+        coeffs,
+        GOLDEN_FINAL_COEFFS.to_vec(),
+        "LAR final model drifted from the pre-migration golden"
+    );
+    runtime::set_threads(0);
+}
+
+#[test]
+fn migrated_constants_carry_the_exact_pre_migration_values() {
+    // The named constants must be bit-equal to the literals they
+    // replaced; the guard semantics depend on the exact values.
+    assert_eq!(tol::NORM_FLOOR.to_bits(), 1e-300f64.to_bits());
+    assert_eq!(tol::STEP_REL_TOL.to_bits(), 1e-14f64.to_bits());
+    assert_eq!(tol::DEFAULT_ABS_TOL.to_bits(), 1e-12f64.to_bits());
+}

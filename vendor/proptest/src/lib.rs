@@ -206,7 +206,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Element-count specification for [`vec`]: an exact length or a
+    /// Element-count specification for [`vec()`]: an exact length or a
     /// half-open range of lengths.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
