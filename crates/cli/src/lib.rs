@@ -15,46 +15,16 @@ pub mod csv;
 use rsm_basis::{Dictionary, DictionaryKind};
 use rsm_core::select::CvConfig;
 use rsm_core::source::DictionarySource;
-use rsm_core::{codegen, solver, Method, ModelOrder, SparseModel};
+use rsm_core::{codegen, solver, Method, ModelOrder};
+use rsm_serve::{serve_tcp, PredictEngine, ServeStats};
 use rsm_stats::metrics::relative_error;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// A fitted model bundle as persisted by `rsm fit` (JSON).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ModelBundle {
-    /// Input column names, in the order the model expects.
-    pub input_columns: Vec<String>,
-    /// Response column name.
-    pub response: String,
-    /// Basis family: `"linear"` or `"quadratic"`.
-    pub basis: String,
-    /// Method used.
-    pub method: String,
-    /// Chosen model order.
-    pub lambda: usize,
-    /// In-sample relative error.
-    pub train_error: f64,
-    /// The sparse coefficients.
-    pub model: SparseModel,
-}
-
-impl ModelBundle {
-    /// Reconstructs the dictionary this bundle was fit over.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error string for an unknown basis name.
-    pub fn dictionary(&self) -> Result<Dictionary, String> {
-        let kind = match self.basis.as_str() {
-            "linear" => DictionaryKind::Linear,
-            "quadratic" => DictionaryKind::Quadratic,
-            other => return Err(format!("unknown basis '{other}' in model file")),
-        };
-        Ok(Dictionary::new(self.input_columns.len(), kind))
-    }
-}
+// The bundle type lives in rsm-core so the offline CLI and the serving
+// stack share one definition; re-exported here because `rsm fit` is
+// its writer and older code paths name it as `rsm_cli::ModelBundle`.
+pub use rsm_core::ModelBundle;
 
 /// Parsed command-line options: `--key value` pairs plus positionals.
 #[derive(Debug, Default)]
@@ -64,7 +34,7 @@ struct Options {
 }
 
 /// Flags that take no value (presence alone turns them on).
-const BOOL_FLAGS: &[&str] = &["implicit"];
+const BOOL_FLAGS: &[&str] = &["implicit", "stdio"];
 
 impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
@@ -113,8 +83,17 @@ USAGE:
           [--basis linear|quadratic] [--lambda-max N] [--lambda N] [--implicit]
           [--model out.json] [--emit-c out.c] [--emit-veriloga out.va]
   rsm predict --model <model.json> --input <samples.csv> [--output pred.csv]
+  rsm serve --model <model.json> (--stdio | --listen <addr:port> | --unix <path>)
+            [--max-conns N]
   rsm info --model <model.json>
   rsm help
+
+`rsm serve` answers batched predict frames over a length-prefixed
+binary protocol (see the README's Serving section); predictions are
+bit-identical to `rsm predict` on the same points. With --stdio the
+frames flow over stdin/stdout and diagnostics go to stderr; --listen
+binds a TCP socket, --unix a Unix-domain socket. --max-conns stops
+after N connections (for tests and benchmarks).
 
 Every subcommand also accepts --threads N (default: the RSM_THREADS
 environment variable, else all available cores). The thread count only
@@ -152,6 +131,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     match cmd.as_str() {
         "fit" => cmd_fit(&opts),
         "predict" => cmd_predict(&opts),
+        "serve" => cmd_serve(&opts),
         "info" => cmd_info(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
@@ -255,7 +235,7 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
         );
     }
     if let Some(path) = opts.optional("model") {
-        let json = serde_json::to_string_pretty(&bundle).map_err(|e| e.to_string())?;
+        let json = bundle.to_json().map_err(|e| e.to_string())?;
         write_file(path, &json)?;
         let _ = writeln!(out, "model written to {path}");
     }
@@ -273,10 +253,13 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
+fn load_bundle(opts: &Options) -> Result<ModelBundle, String> {
+    ModelBundle::from_json(&read_file(opts.required("model")?)?).map_err(|e| e.to_string())
+}
+
 fn cmd_predict(opts: &Options) -> Result<String, String> {
-    let bundle: ModelBundle = serde_json::from_str(&read_file(opts.required("model")?)?)
-        .map_err(|e| format!("malformed model file: {e}"))?;
-    let dict = bundle.dictionary()?;
+    let bundle = load_bundle(opts)?;
+    let dict = bundle.dictionary().map_err(|e| e.to_string())?;
     let table =
         csv::Table::parse(&read_file(opts.required("input")?)?).map_err(|e| e.to_string())?;
     // Accept either exactly the input columns (by name) or, for
@@ -303,11 +286,15 @@ fn cmd_predict(opts: &Options) -> Result<String, String> {
             .collect::<Result<_, _>>()?;
         table.data.select_cols(&idx)
     };
-    let pred: Vec<f64> = (0..inputs.rows())
-        .map(|r| bundle.model.predict_point(&dict, inputs.row(r)))
-        .collect();
+    // The one scoring code path: the same batch evaluator the serving
+    // stack uses (support-union columns only, fixed-order chunking),
+    // so offline and served predictions are bit-identical.
+    let pred = bundle
+        .model
+        .predict_batch(&dict, &inputs)
+        .map_err(|e| e.to_string())?;
     let pred_matrix =
-        rsm_linalg::Matrix::from_vec(pred.len(), 1, pred.clone()).expect("column vector");
+        rsm_linalg::Matrix::from_vec(pred.len(), 1, pred.clone()).map_err(|e| e.to_string())?;
     let text = csv::write_csv(&[format!("{}_pred", bundle.response)], &pred_matrix);
     if let Some(path) = opts.optional("output") {
         write_file(path, &text)?;
@@ -317,10 +304,72 @@ fn cmd_predict(opts: &Options) -> Result<String, String> {
     }
 }
 
+fn cmd_serve(opts: &Options) -> Result<String, String> {
+    let bundle = load_bundle(opts)?;
+    let engine = PredictEngine::new(bundle).map_err(|e| e.to_string())?;
+    let max_conns = match opts.optional("max-conns") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| "--max-conns must be a non-negative integer".to_string())?,
+        ),
+        None => None,
+    };
+    let listen = opts.optional("listen");
+    let unix = opts.optional("unix");
+    let stdio = opts.boolean("stdio");
+    let mode_count =
+        usize::from(stdio) + usize::from(listen.is_some()) + usize::from(unix.is_some());
+    if mode_count > 1 {
+        return Err("--stdio, --listen, and --unix are mutually exclusive".to_string());
+    }
+    let stats: ServeStats = if let Some(addr) = listen {
+        serve_tcp(&engine, addr, max_conns, |bound| {
+            eprintln!("rsm serve: listening on {bound}");
+        })
+        .map_err(|e| format!("serve failed: {e}"))?
+    } else if let Some(path) = unix {
+        serve_unix_path(&engine, path, max_conns)?
+    } else {
+        // Default mode: frames over stdin/stdout, diagnostics on
+        // stderr. Locked handles keep framing atomic.
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let mut reader = stdin.lock();
+        let mut writer = stdout.lock();
+        rsm_serve::serve_stream(&engine, &mut reader, &mut writer)
+            .map_err(|e| format!("serve failed: {e}"))?
+    };
+    eprintln!(
+        "rsm serve: done — {} batches ({} points) answered, {} error frames",
+        stats.batches_ok, stats.points, stats.errors
+    );
+    // Protocol frames own stdout; the summary above went to stderr.
+    Ok(String::new())
+}
+
+#[cfg(unix)]
+fn serve_unix_path(
+    engine: &PredictEngine,
+    path: &str,
+    max_conns: Option<u64>,
+) -> Result<ServeStats, String> {
+    eprintln!("rsm serve: listening on unix socket {path}");
+    rsm_serve::serve_unix(engine, std::path::Path::new(path), max_conns)
+        .map_err(|e| format!("serve failed: {e}"))
+}
+
+#[cfg(not(unix))]
+fn serve_unix_path(
+    _engine: &PredictEngine,
+    _path: &str,
+    _max_conns: Option<u64>,
+) -> Result<ServeStats, String> {
+    Err("--unix is only supported on Unix platforms".to_string())
+}
+
 fn cmd_info(opts: &Options) -> Result<String, String> {
-    let bundle: ModelBundle = serde_json::from_str(&read_file(opts.required("model")?)?)
-        .map_err(|e| format!("malformed model file: {e}"))?;
-    let dict = bundle.dictionary()?;
+    let bundle = load_bundle(opts)?;
+    let dict = bundle.dictionary().map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -558,6 +607,115 @@ mod tests {
             out.contains("M = 21 bases") || out.contains("M = 21"),
             "{out}"
         );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn serve_argument_validation() {
+        // Missing model.
+        assert!(run(&s(&["serve"]))
+            .unwrap_err()
+            .contains("missing required option --model"));
+        // Mutually exclusive transports.
+        let (dir, csv_path) = sample_csv(60, 11);
+        let model = dir.join("m.json").to_string_lossy().into_owned();
+        run(&s(&[
+            "fit",
+            "--input",
+            &csv_path,
+            "--response",
+            "delay",
+            "--lambda",
+            "2",
+            "--model",
+            &model,
+        ]))
+        .unwrap();
+        let err = run(&s(&[
+            "serve",
+            "--model",
+            &model,
+            "--stdio",
+            "--listen",
+            "127.0.0.1:0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run(&s(&[
+            "serve",
+            "--model",
+            &model,
+            "--listen",
+            "127.0.0.1:0",
+            "--unix",
+            "/tmp/x.sock",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        // Bad --max-conns.
+        let err = run(&s(&[
+            "serve",
+            "--model",
+            &model,
+            "--listen",
+            "127.0.0.1:0",
+            "--max-conns",
+            "lots",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--max-conns"), "{err}");
+        // A corrupt bundle is rejected before any socket is bound.
+        let bad = dir.join("bad.json").to_string_lossy().into_owned();
+        std::fs::write(&bad, "{\"not\": \"a bundle\"}").unwrap();
+        assert!(run(&s(&["serve", "--model", &bad, "--stdio"])).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn serve_over_tcp_matches_predict_point() {
+        // Fit a model through the CLI, serve it over TCP in a thread
+        // (max-conns 1 makes the loop joinable), and compare the wire
+        // predictions bit-for-bit with the in-process evaluator.
+        let (dir, csv_path) = sample_csv(100, 12);
+        let model = dir.join("m.json").to_string_lossy().into_owned();
+        run(&s(&[
+            "fit",
+            "--input",
+            &csv_path,
+            "--response",
+            "delay",
+            "--basis",
+            "quadratic",
+            "--lambda",
+            "4",
+            "--model",
+            &model,
+        ]))
+        .unwrap();
+        let bundle = ModelBundle::from_json(&std::fs::read_to_string(&model).unwrap()).unwrap();
+        let dict = bundle.dictionary().unwrap();
+        let engine = rsm_serve::PredictEngine::new(bundle.clone()).unwrap();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            rsm_serve::serve_tcp(&engine, "127.0.0.1:0", Some(1), |addr| {
+                tx.send(addr).unwrap();
+            })
+            .unwrap();
+        });
+        let addr = rx.recv().unwrap();
+        let mut client = rsm_serve::Client::new(std::net::TcpStream::connect(addr).unwrap());
+        let points = [0.5, -0.25, 1.0, 0.75, 2.0, -1.5, 0.0, 0.125, -0.5, 1.25];
+        let values = client.predict(5, &points).unwrap();
+        drop(client);
+        server.join().unwrap();
+        assert_eq!(values.len(), 2);
+        for (i, v) in values.iter().enumerate() {
+            let expect = bundle
+                .model
+                .predict_point(&dict, &points[i * 5..(i + 1) * 5]);
+            assert_eq!(v.to_bits(), expect.to_bits(), "point {i}");
+        }
         std::fs::remove_dir_all(dir).ok();
     }
 

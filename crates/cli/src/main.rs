@@ -9,8 +9,13 @@
 //!         --basis quadratic --lambda-max 80 --model model.json \
 //!         [--emit-c model.c] [--emit-veriloga model.va]
 //! rsm predict --model model.json --input new_samples.csv --output pred.csv
+//! rsm serve --model model.json --listen 127.0.0.1:7878
 //! rsm info --model model.json
 //! ```
+//!
+//! `rsm serve` speaks a length-prefixed binary frame protocol over
+//! stdio, TCP, or a Unix socket; served predictions are bit-identical
+//! to `rsm predict` because both run the same batch evaluator.
 //!
 //! Everything the subcommands do is a thin composition of the library
 //! crates; see `lib.rs` for the testable implementation.

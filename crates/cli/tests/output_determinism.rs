@@ -118,6 +118,104 @@ fn fit_and_predict_are_byte_identical_across_runs_and_threads() {
 }
 
 #[test]
+fn rerouted_predict_is_byte_identical_across_threads_on_multi_chunk_batches() {
+    // `rsm predict` now runs through SparseModel::predict_batch, which
+    // fans rows out in fixed 256-row chunks. 700 rows span three
+    // chunks, so this genuinely exercises the parallel path — the CSV
+    // must still be byte-identical at 1 and 4 threads, and identical
+    // to the serial per-point evaluation it replaced.
+    let dir = temp_dir("predict_batch");
+    let samples = dir.join("samples.csv");
+    write_samples(&samples);
+    let samples_s = samples.to_str().expect("utf-8 path");
+    let model = dir.join("model.json");
+    let model_s = model.to_str().expect("utf-8 path");
+    rsm_cli::run(&args(&[
+        "fit",
+        "--input",
+        samples_s,
+        "--response",
+        "delay",
+        "--basis",
+        "quadratic",
+        "--lambda",
+        "5",
+        "--model",
+        model_s,
+    ]))
+    .expect("fit succeeds");
+
+    // A 700-row input file (3 columns, no response needed for predict
+    // with named columns — reuse the header so columns match).
+    let big = dir.join("big.csv");
+    let mut csv = String::from("vth,tox,leff\n");
+    let mut seed = 0xb16_b00b5_u64;
+    let mut rows: Vec<[f64; 3]> = Vec::new();
+    for _ in 0..700 {
+        // Round through the CSV encoding so the in-process reference
+        // sees exactly the values the CLI will parse.
+        let p = [
+            lcg(&mut seed) * 2.0 - 1.0,
+            lcg(&mut seed) * 2.0 - 1.0,
+            lcg(&mut seed) * 2.0 - 1.0,
+        ]
+        .map(|v| format!("{v:.12}").parse::<f64>().expect("roundtrips"));
+        csv.push_str(&format!("{:.12},{:.12},{:.12}\n", p[0], p[1], p[2]));
+        rows.push(p);
+    }
+    std::fs::write(&big, csv).expect("write big csv");
+    let big_s = big.to_str().expect("utf-8 path");
+
+    let mut outputs = Vec::new();
+    for threads in ["1", "4"] {
+        let pred = dir.join(format!("pred_{threads}.csv"));
+        let pred_s = pred.to_str().expect("utf-8 path");
+        rsm_cli::run(&args(&[
+            "predict",
+            "--model",
+            model_s,
+            "--input",
+            big_s,
+            "--output",
+            pred_s,
+            "--threads",
+            threads,
+        ]))
+        .expect("predict succeeds");
+        outputs.push(std::fs::read_to_string(&pred).expect("prediction written"));
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "thread count leaked into multi-chunk predict output"
+    );
+
+    // Cross-check against the serial per-point loop the command used
+    // to contain: the CSV values must be the shortest-roundtrip
+    // prints of exactly those bits.
+    let bundle =
+        rsm_cli::ModelBundle::from_json(&std::fs::read_to_string(&model).expect("model readable"))
+            .expect("bundle parses");
+    let dict = bundle.dictionary().expect("dictionary rebuilds");
+    let body = outputs[0]
+        .lines()
+        .skip(1)
+        .map(str::to_string)
+        .collect::<Vec<_>>();
+    assert_eq!(body.len(), 700);
+    for (p, line) in rows.iter().zip(&body) {
+        let serial = bundle.model.predict_point(&dict, p);
+        let printed: f64 = line.parse().expect("csv cell parses");
+        assert_eq!(
+            printed.to_bits(),
+            serial.to_bits(),
+            "batch path diverged from the per-point loop at {p:?}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn emitted_c_source_is_byte_identical_across_runs() {
     let dir = temp_dir("emit");
     let samples = dir.join("samples.csv");

@@ -1,0 +1,187 @@
+//! End-to-end test of `rsm serve --stdio`: spawn the real binary,
+//! stream frames over its stdin/stdout, and check the answers against
+//! the in-process evaluator bit for bit. This is the closest test to
+//! how an external (non-Rust) client experiences the protocol.
+
+use rsm_cli::ModelBundle;
+use rsm_serve::frame::{encode_frame, read_frame};
+use rsm_serve::{ErrorCode, Frame};
+use std::io::{Read, Write};
+use std::process::{Command, Stdio};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+/// Deterministic pseudo-random stream (no rand dependency).
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+}
+
+fn fit_model(dir: &std::path::Path) -> String {
+    let mut csv = String::from("vth,tox,leff,delay\n");
+    let mut seed = 0x0dd5_eed5_u64;
+    for _ in 0..60 {
+        let a = lcg(&mut seed) * 2.0 - 1.0;
+        let b = lcg(&mut seed) * 2.0 - 1.0;
+        let c = lcg(&mut seed) * 2.0 - 1.0;
+        let y = 0.5 + 1.5 * a - 0.25 * b + 0.75 * c;
+        csv.push_str(&format!("{a:.12},{b:.12},{c:.12},{y:.12}\n"));
+    }
+    let samples = dir.join("samples.csv");
+    std::fs::write(&samples, csv).expect("write samples");
+    let model = dir.join("model.json");
+    rsm_cli::run(&args(&[
+        "fit",
+        "--input",
+        samples.to_str().expect("utf-8 path"),
+        "--response",
+        "delay",
+        "--lambda",
+        "3",
+        "--model",
+        model.to_str().expect("utf-8 path"),
+    ]))
+    .expect("fit succeeds");
+    model.to_string_lossy().into_owned()
+}
+
+#[test]
+fn stdio_server_answers_batches_and_errors_then_exits_cleanly() {
+    let dir = std::env::temp_dir().join(format!("rsm_serve_stdio_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let model_path = fit_model(&dir);
+    let bundle =
+        ModelBundle::from_json(&std::fs::read_to_string(&model_path).expect("model written"))
+            .expect("bundle parses");
+    let dict = bundle.dictionary().expect("dictionary rebuilds");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rsm"))
+        .args(["serve", "--model", &model_path, "--stdio", "--threads", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rsm serve --stdio");
+
+    // Write the whole session up front: a good batch, a wrong-arity
+    // batch, another good batch, then EOF. The server must answer all
+    // three and exit 0.
+    let points_a = [0.5, -1.0, 0.25, 2.0, 0.0, -0.75];
+    let points_b = [1.0, 1.0, 1.0];
+    let mut session = Vec::new();
+    session.extend(
+        encode_frame(&Frame::Predict {
+            num_vars: 3,
+            points: points_a.to_vec(),
+        })
+        .expect("encodes"),
+    );
+    session.extend(
+        encode_frame(&Frame::Predict {
+            num_vars: 2,
+            points: vec![9.0, 9.0],
+        })
+        .expect("encodes"),
+    );
+    session.extend(
+        encode_frame(&Frame::Predict {
+            num_vars: 3,
+            points: points_b.to_vec(),
+        })
+        .expect("encodes"),
+    );
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(&session)
+        .expect("write session");
+    // stdin drops here → EOF → the server finishes and exits.
+
+    let mut raw = Vec::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_end(&mut raw)
+        .expect("read responses");
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server exit status {status:?}");
+
+    let mut frames = Vec::new();
+    let mut r = &raw[..];
+    while let Some(f) = read_frame(&mut r).expect("responses frame cleanly") {
+        frames.push(f);
+    }
+    assert_eq!(frames.len(), 3, "{frames:?}");
+
+    match &frames[0] {
+        Frame::Predictions { values } => {
+            assert_eq!(values.len(), 2);
+            for (i, v) in values.iter().enumerate() {
+                let expect = bundle
+                    .model
+                    .predict_point(&dict, &points_a[i * 3..(i + 1) * 3]);
+                assert_eq!(v.to_bits(), expect.to_bits(), "point {i} over stdio");
+            }
+        }
+        other => panic!("expected predictions, got {other:?}"),
+    }
+    match &frames[1] {
+        Frame::Error { code, .. } => assert_eq!(*code, ErrorCode::WrongArity),
+        other => panic!("expected wrong-arity error, got {other:?}"),
+    }
+    match &frames[2] {
+        Frame::Predictions { values } => {
+            let expect = bundle.model.predict_point(&dict, &points_b);
+            assert_eq!(values[0].to_bits(), expect.to_bits());
+        }
+        other => panic!("expected predictions, got {other:?}"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stdio_server_survives_garbage_with_an_error_frame_and_nonzero_free_exit() {
+    let dir = std::env::temp_dir().join(format!("rsm_serve_stdio_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let model_path = fit_model(&dir);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rsm"))
+        .args(["serve", "--model", &model_path, "--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rsm serve --stdio");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"definitely not a frame")
+        .expect("write garbage");
+
+    let mut raw = Vec::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_end(&mut raw)
+        .expect("read responses");
+    // Garbage is answered in-band and the process still exits 0 — the
+    // client was wrong, not the server.
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server exit status {status:?}");
+    let mut r = &raw[..];
+    match read_frame(&mut r).expect("error frame decodes") {
+        Some(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::BadMagic),
+        other => panic!("expected a bad-magic error frame, got {other:?}"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

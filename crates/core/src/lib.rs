@@ -26,6 +26,8 @@
 //! - [`select`] — Q-fold cross-validated choice of the model order `λ`
 //!   (Section IV-C, Fig. 2);
 //! - [`model`] — the sparse model type shared by all solvers;
+//! - [`bundle`] — the persisted model bundle (`rsm fit` output) the
+//!   offline and serving prediction paths both load;
 //! - [`solver`] — a unified front-end dispatching on [`Method`].
 //!
 //! # Quick start
@@ -54,6 +56,7 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod codegen;
 pub mod lar;
 pub mod lasso_cd;
@@ -66,6 +69,7 @@ pub mod solver;
 pub mod source;
 pub mod star;
 
+pub use bundle::ModelBundle;
 pub use model::SparseModel;
 pub use path::SparsePath;
 pub use solver::{FitReport, Method, ModelOrder};

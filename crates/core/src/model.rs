@@ -3,6 +3,11 @@
 use rsm_linalg::tol;
 use serde::{Deserialize, Serialize};
 
+/// Row-chunk length for [`SparseModel::predict_batch`]. A function of
+/// nothing but this constant and the batch size, so the chunk grid —
+/// and therefore the result bits — never depend on the thread count.
+const BATCH_ROW_CHUNK: usize = 256;
+
 /// A sparse coefficient vector `α`: the solution of `G·α ≈ F` with only
 /// a few non-zeros (Step 9 of Algorithm 1 sets every unselected
 /// coefficient to exactly zero).
@@ -113,6 +118,55 @@ impl SparseModel {
             .iter()
             .map(|&(i, c)| c * dict.eval_term(i, dy))
             .sum()
+    }
+
+    /// Batched sparse prediction: scores every row of `points` (raw
+    /// `ΔY` sample points, one per row) against the dictionary.
+    ///
+    /// This is the workspace's single serving-side evaluator — the
+    /// `rsm predict` CSV path and the `rsm serve` wire path both call
+    /// it. Only the selected (support) terms are evaluated per row, so
+    /// a batch costs `O(K·‖α‖₀)` term evaluations instead of `O(K·M)`.
+    /// Rows fan out over `rsm_runtime`'s fixed-order chunk grid
+    /// ([`rsm_runtime::par_chunks_reduce`]), and each row performs
+    /// exactly the floating-point op sequence of [`Self::predict_point`],
+    /// so the output is **bit-identical** to a serial per-row loop at
+    /// every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`](crate::CoreError) when the
+    /// point dimension disagrees with the dictionary, or when the
+    /// dictionary size disagrees with the model's basis count.
+    pub fn predict_batch(
+        &self,
+        dict: &rsm_basis::Dictionary,
+        points: &rsm_linalg::Matrix,
+    ) -> crate::Result<Vec<f64>> {
+        if points.cols() != dict.num_vars() {
+            return Err(crate::CoreError::ShapeMismatch {
+                expected: format!("points with {} columns", dict.num_vars()),
+                found: format!("{} columns", points.cols()),
+            });
+        }
+        if dict.len() != self.num_bases {
+            return Err(crate::CoreError::ShapeMismatch {
+                expected: format!("dictionary of {} bases", self.num_bases),
+                found: format!("{} bases", dict.len()),
+            });
+        }
+        let k = points.rows();
+        let mut out: Vec<f64> = Vec::with_capacity(k);
+        rsm_runtime::par_chunks_reduce(
+            k,
+            BATCH_ROW_CHUNK,
+            |rows| {
+                rows.map(|r| self.predict_point(dict, points.row(r)))
+                    .collect::<Vec<f64>>()
+            },
+            |chunk| out.extend_from_slice(&chunk),
+        );
+        Ok(out)
     }
 
     /// L2 norm of the coefficient vector.
@@ -242,6 +296,39 @@ mod tests {
         let dense = m.predict_row(&row);
         let sparse = m.predict_point(&dict, &dy);
         assert!((dense - sparse).abs() < 1e-13);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_point_bitwise() {
+        let dict = Dictionary::new(4, DictionaryKind::Quadratic);
+        let m = SparseModel::new(dict.len(), vec![(1, 0.3), (6, -1.7), (11, 0.25)]);
+        // More rows than one chunk so the chunk grid is exercised.
+        let pts = Matrix::from_fn(700, 4, |r, c| ((r * 7 + c) as f64 * 0.13).sin());
+        for threads in [1usize, 4] {
+            rsm_runtime::set_threads(threads);
+            let batch = m.predict_batch(&dict, &pts).unwrap();
+            assert_eq!(batch.len(), 700);
+            for (r, &b) in batch.iter().enumerate() {
+                let p = m.predict_point(&dict, pts.row(r));
+                assert_eq!(p.to_bits(), b.to_bits(), "row {r} @ {threads} threads");
+            }
+        }
+        rsm_runtime::set_threads(0);
+    }
+
+    #[test]
+    fn predict_batch_rejects_shape_mismatches() {
+        let dict = Dictionary::new(3, DictionaryKind::Linear);
+        let m = SparseModel::new(dict.len(), vec![(1, 1.0)]);
+        let wrong_cols = Matrix::zeros(5, 2);
+        assert!(m.predict_batch(&dict, &wrong_cols).is_err());
+        let wrong_dict = Dictionary::new(5, DictionaryKind::Linear);
+        assert!(m.predict_batch(&wrong_dict, &Matrix::zeros(5, 5)).is_err());
+        // Empty batch is fine.
+        assert!(m
+            .predict_batch(&dict, &Matrix::zeros(0, 3))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::suppress::SuppressionSet;
 /// Library crates where panic sites must not be reachable from public
 /// entry points (rule R3). Binaries (`cli`, `lint`) and the benchmark
 /// harness may panic on their own top-level errors.
-pub const LIB_CRATES: [&str; 8] = [
+pub const LIB_CRATES: [&str; 9] = [
     "core",
     "linalg",
     "basis",
@@ -28,6 +28,9 @@ pub const LIB_CRATES: [&str; 8] = [
     "spice",
     "circuits",
     "runtime",
+    // The serving stack answers malformed client input with error
+    // frames; a reachable panic there is a denial-of-service bug.
+    "serve",
     // The root `sparse-rsm` facade under `src/` re-exports the crates
     // above and is held to the same standard.
     "sparse-rsm",

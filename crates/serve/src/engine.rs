@@ -1,0 +1,222 @@
+//! The compute half of the server: a pure function from request frame
+//! to response frame.
+//!
+//! [`PredictEngine`] owns a loaded [`ModelBundle`] and its
+//! reconstructed dictionary, and scores batches through
+//! [`SparseModel::predict_batch`](rsm_core::SparseModel::predict_batch)
+//! — the same evaluator `rsm predict` uses, so wire predictions are
+//! bit-identical to offline ones. Everything here is infallible by
+//! construction: invalid requests map to [`Frame::Error`] values, never
+//! panics, which is what keeps the request loop alive across abusive
+//! clients (and the crate clean under rsm-lint R3).
+
+use crate::frame::{ErrorCode, Frame};
+use rsm_basis::Dictionary;
+use rsm_core::{CoreError, ModelBundle};
+use rsm_linalg::Matrix;
+
+/// A loaded model ready to score batches.
+#[derive(Debug, Clone)]
+pub struct PredictEngine {
+    bundle: ModelBundle,
+    dict: Dictionary,
+}
+
+impl PredictEngine {
+    /// Builds an engine from a loaded bundle, validating that the
+    /// bundle is internally consistent (basis name, coefficient count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelBundle::dictionary`] failures.
+    pub fn new(bundle: ModelBundle) -> Result<PredictEngine, CoreError> {
+        let dict = bundle.dictionary()?;
+        Ok(PredictEngine { bundle, dict })
+    }
+
+    /// The bundle this engine serves.
+    pub fn bundle(&self) -> &ModelBundle {
+        &self.bundle
+    }
+
+    /// Input arity every point in a batch must have.
+    pub fn num_vars(&self) -> usize {
+        self.dict.num_vars()
+    }
+
+    /// Scores one batch: `points` is row-major with `num_vars`
+    /// coordinates per point (the decoded predict payload).
+    ///
+    /// Returns a [`Frame::Predictions`] on success and a structured
+    /// [`Frame::Error`] for wrong arity, non-finite coordinates, or an
+    /// internal evaluator failure. Never panics.
+    pub fn predict(&self, num_vars: usize, points: &[f64]) -> Frame {
+        if num_vars != self.dict.num_vars() {
+            return Frame::Error {
+                code: ErrorCode::WrongArity,
+                message: format!(
+                    "batch has {num_vars} coordinates per point but model '{}' expects {}",
+                    self.bundle.response,
+                    self.dict.num_vars()
+                ),
+            };
+        }
+        if let Some(pos) = points.iter().position(|v| !v.is_finite()) {
+            return Frame::Error {
+                code: ErrorCode::NonFinite,
+                message: format!(
+                    "coordinate {} of point {} is not finite",
+                    pos % num_vars,
+                    pos / num_vars
+                ),
+            };
+        }
+        // The decoder guarantees divisibility; re-derive defensively so
+        // this stays panic-free for direct callers too.
+        if num_vars == 0 || !points.len().is_multiple_of(num_vars) {
+            return Frame::Error {
+                code: ErrorCode::Malformed,
+                message: "points length is not a multiple of num_vars".to_string(),
+            };
+        }
+        let num_points = points.len() / num_vars;
+        let batch = match Matrix::from_vec(num_points, num_vars, points.to_vec()) {
+            Ok(m) => m,
+            Err(e) => {
+                return Frame::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("cannot shape batch: {e}"),
+                }
+            }
+        };
+        match self.bundle.model.predict_batch(&self.dict, &batch) {
+            Ok(values) => Frame::Predictions { values },
+            Err(e) => Frame::Error {
+                code: ErrorCode::Internal,
+                message: format!("evaluator failure: {e}"),
+            },
+        }
+    }
+
+    /// Maps any client frame to its response frame. Response kinds
+    /// arriving at the server are protocol errors, answered as such.
+    pub fn handle(&self, frame: &Frame) -> Frame {
+        match frame {
+            Frame::Predict { num_vars, points } => self.predict(*num_vars, points),
+            Frame::Predictions { .. } => Frame::Error {
+                code: ErrorCode::BadKind,
+                message: "a predictions frame is a response, not a request".to_string(),
+            },
+            Frame::Error { .. } => Frame::Error {
+                code: ErrorCode::BadKind,
+                message: "an error frame is a response, not a request".to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsm_core::SparseModel;
+
+    fn engine() -> PredictEngine {
+        let bundle = ModelBundle {
+            input_columns: vec!["a".into(), "b".into(), "c".into()],
+            response: "delay".into(),
+            basis: "quadratic".into(),
+            method: "LAR".into(),
+            lambda: 3,
+            train_error: 0.01,
+            // M = 10 for 3 quadratic inputs.
+            model: SparseModel::new(10, vec![(0, 1.25), (2, -0.5), (9, 3.0)]),
+        };
+        PredictEngine::new(bundle).unwrap()
+    }
+
+    #[test]
+    fn predictions_match_predict_point_bitwise() {
+        let e = engine();
+        let pts = vec![0.5, -1.0, 2.0, 0.0, 0.25, -0.75];
+        match e.predict(3, &pts) {
+            Frame::Predictions { values } => {
+                assert_eq!(values.len(), 2);
+                for (i, v) in values.iter().enumerate() {
+                    let expect = e
+                        .bundle()
+                        .model
+                        .predict_point(&e.bundle().dictionary().unwrap(), &pts[i * 3..(i + 1) * 3]);
+                    assert_eq!(v.to_bits(), expect.to_bits(), "point {i}");
+                }
+            }
+            other => panic!("expected predictions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_is_a_structured_error() {
+        let e = engine();
+        match e.predict(2, &[1.0, 2.0]) {
+            Frame::Error { code, message } => {
+                assert_eq!(code, ErrorCode::WrongArity);
+                assert!(message.contains("expects 3"), "{message}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_coordinates_are_rejected_with_position() {
+        let e = engine();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match e.predict(3, &[0.0, 1.0, 2.0, 0.5, bad, 1.5]) {
+                Frame::Error { code, message } => {
+                    assert_eq!(code, ErrorCode::NonFinite);
+                    assert!(message.contains("point 1"), "{message}");
+                    assert!(message.contains("coordinate 1"), "{message}");
+                }
+                other => panic!("expected error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_kinds_are_rejected_as_requests() {
+        let e = engine();
+        for f in [
+            Frame::Predictions { values: vec![] },
+            Frame::Error {
+                code: ErrorCode::Internal,
+                message: String::new(),
+            },
+        ] {
+            match e.handle(&f) {
+                Frame::Error { code, .. } => assert_eq!(code, ErrorCode::BadKind),
+                other => panic!("expected error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_predictions() {
+        let e = engine();
+        match e.predict(3, &[]) {
+            Frame::Predictions { values } => assert!(values.is_empty()),
+            other => panic!("expected predictions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_bundle_is_rejected_at_construction() {
+        let bundle = ModelBundle {
+            input_columns: vec!["a".into()],
+            response: "y".into(),
+            basis: "nope".into(),
+            method: "LAR".into(),
+            lambda: 1,
+            train_error: 0.0,
+            model: SparseModel::zero(2),
+        };
+        assert!(PredictEngine::new(bundle).is_err());
+    }
+}

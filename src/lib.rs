@@ -23,7 +23,10 @@
 //!   underneath everything;
 //! - [`runtime`] *(rsm-runtime)* — the deterministic thread pool the
 //!   kernels run on (`RSM_THREADS` / [`runtime::set_threads`]); the
-//!   thread count only changes speed, never results.
+//!   thread count only changes speed, never results;
+//! - [`serve`] *(rsm-serve)* — batched model serving over a binary
+//!   frame protocol (stdio / TCP / Unix sockets) with predictions
+//!   bit-identical to the offline path.
 //!
 //! ## Quick start
 //!
@@ -57,5 +60,6 @@ pub use rsm_circuits as circuits;
 pub use rsm_core as core;
 pub use rsm_linalg as linalg;
 pub use rsm_runtime as runtime;
+pub use rsm_serve as serve;
 pub use rsm_spice as spice;
 pub use rsm_stats as stats;
