@@ -214,9 +214,8 @@ impl Dictionary {
                     out[n + 1 + v] = (y * y - 1.0) * std::f64::consts::FRAC_1_SQRT_2;
                 }
                 let mut p = 2 * n + 1;
-                for i in 0..n {
-                    let yi = dy[i];
-                    for &yj in dy.iter().skip(i + 1) {
+                for (i, &yi) in dy.iter().enumerate() {
+                    for &yj in &dy[i + 1..] {
                         out[p] = yi * yj;
                         p += 1;
                     }
@@ -226,8 +225,8 @@ impl Dictionary {
                 // Shared ψ table: psis[v][k] = ψ_k(dy[v]).
                 let dmax = d as usize;
                 let mut psis = vec![0.0; self.n * (dmax + 1)];
-                for v in 0..self.n {
-                    hermite::psi_all(dy[v], &mut psis[v * (dmax + 1)..(v + 1) * (dmax + 1)]);
+                for (chunk, &yv) in psis.chunks_exact_mut(dmax + 1).zip(dy) {
+                    hermite::psi_all(yv, chunk);
                 }
                 for (m, t) in self
                     .terms

@@ -51,8 +51,16 @@ pub fn psi_all(x: f64, out: &mut [f64]) {
         return;
     }
     out[1] = x;
-    for k in 1..out.len() - 1 {
-        out[k + 1] = (x * out[k] - (k as f64).sqrt() * out[k - 1]) / ((k + 1) as f64).sqrt();
+    // Register recurrence instead of re-reading `out[k]`/`out[k - 1]`:
+    // `p`/`pm1` carry ψ_{m-1}, ψ_{m-2} for the slot `m` being written.
+    // Same `sqrt` arguments (exact small integers) and operation order
+    // as the indexed form, so the table is bit-identical.
+    let (mut pm1, mut p) = (1.0, x);
+    for (m, o) in out.iter_mut().enumerate().skip(2) {
+        let next = (x * p - ((m - 1) as f64).sqrt() * pm1) / (m as f64).sqrt();
+        *o = next;
+        pm1 = p;
+        p = next;
     }
 }
 

@@ -180,11 +180,11 @@ pub trait AtomSource {
         self.columns_into(js, &mut cols);
         let mut gram = Matrix::zeros(p, p);
         let col_vecs: Vec<Vec<f64>> = (0..p).map(|c| cols.col(c)).collect();
-        for a in 0..p {
-            for b in a..p {
-                let v = dot(&col_vecs[a], &col_vecs[b]);
-                gram[(a, b)] = v;
-                gram[(b, a)] = v;
+        for (a, va) in col_vecs.iter().enumerate() {
+            for (off, vb) in col_vecs[a..].iter().enumerate() {
+                let v = dot(va, vb);
+                gram[(a, a + off)] = v;
+                gram[(a + off, a)] = v;
             }
         }
         gram

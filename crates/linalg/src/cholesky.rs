@@ -150,12 +150,15 @@ impl GrowingCholesky {
                 found: format!("length {}", cross.len()),
             });
         }
-        // Solve L·w = cross.
+        // Solve L·w = cross. `split_at_mut(i)` hands the already-solved
+        // prefix `w[..i]` to `dot` and the slot being written as
+        // `rest[0]` — same arithmetic as the indexed form, without
+        // re-proving the bounds per element.
         let mut w = vec![0.0; p + 1];
-        for i in 0..p {
-            let li = &self.rows[i];
-            let s = dot(&li[..i], &w[..i]);
-            w[i] = (cross[i] - s) / li[i];
+        for (i, (li, &ci)) in self.rows.iter().zip(cross).enumerate() {
+            let (solved, rest) = w.split_at_mut(i);
+            let s = dot(&li[..i], solved);
+            rest[0] = (ci - s) / li[i];
         }
         let schur = diag - dot(&w[..p], &w[..p]);
         let scale_ref = diag.abs().max(1.0);

@@ -290,8 +290,8 @@ impl Matrix {
             );
             return Ok(y);
         }
-        for r in 0..self.rows {
-            vec_ops::axpy(x[r], self.row(r), &mut y);
+        for (r, &xr) in x.iter().enumerate() {
+            vec_ops::axpy(xr, self.row(r), &mut y);
         }
         Ok(y)
     }

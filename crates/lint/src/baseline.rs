@@ -187,6 +187,7 @@ mod tests {
             chain: Vec::new(),
             trace: Vec::new(),
             fn_key: fn_key.map(str::to_string),
+            fix: None,
         }
     }
 

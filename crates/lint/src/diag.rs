@@ -34,6 +34,19 @@ pub enum Rule {
     /// a raw float compare, or an exact `==` on a division/`ln`/`sqrt`
     /// tainted value (dataflow rule; carries a def-use trace).
     R9,
+    /// Vectorization blocker: an indexed `for i in 0..n` loop whose
+    /// body subscripts float slices affinely in `i`, in a lib-crate
+    /// function reachable from a kernel entry point; rewritable to
+    /// iterator/`zip` form (perf rule; may carry a machine fix).
+    R10,
+    /// Allocation inside a loop body in a kernel-reachable lib-crate
+    /// function: `Vec::new`/`with_capacity`/`collect`/`to_vec`/
+    /// `clone` executed per iteration (perf rule).
+    R11,
+    /// Loop-invariant expensive call: a call whose arguments are all
+    /// loop-invariant per the dataflow lattice, sited inside a loop in
+    /// a kernel-reachable lib-crate function (perf rule).
+    R12,
     /// Malformed suppression: missing reason or unknown rule id.
     S0,
     /// Suppression that matched no diagnostic (stale allow).
@@ -41,7 +54,7 @@ pub enum Rule {
 }
 
 /// All source-checking rules, in report order.
-pub const SOURCE_RULES: [Rule; 9] = [
+pub const SOURCE_RULES: [Rule; 12] = [
     Rule::R1,
     Rule::R2,
     Rule::R3,
@@ -51,6 +64,9 @@ pub const SOURCE_RULES: [Rule; 9] = [
     Rule::R7,
     Rule::R8,
     Rule::R9,
+    Rule::R10,
+    Rule::R11,
+    Rule::R12,
 ];
 
 impl Rule {
@@ -66,6 +82,9 @@ impl Rule {
             Rule::R7 => "R7",
             Rule::R8 => "R8",
             Rule::R9 => "R9",
+            Rule::R10 => "R10",
+            Rule::R11 => "R11",
+            Rule::R12 => "R12",
             Rule::S0 => "S0",
             Rule::S1 => "S1",
         }
@@ -81,7 +100,15 @@ impl Rule {
     pub fn severity(self) -> Severity {
         match self {
             Rule::R1 | Rule::R4 | Rule::R5 | Rule::R7 | Rule::S0 => Severity::Error,
-            Rule::R2 | Rule::R3 | Rule::R6 | Rule::R8 | Rule::R9 | Rule::S1 => Severity::Warning,
+            Rule::R2
+            | Rule::R3
+            | Rule::R6
+            | Rule::R8
+            | Rule::R9
+            | Rule::R10
+            | Rule::R11
+            | Rule::R12
+            | Rule::S1 => Severity::Warning,
         }
     }
 
@@ -135,6 +162,24 @@ impl Rule {
                  exact == on a division/ln/sqrt-tainted value; use total_cmp or a \
                  tol helper (the def-use trace is printed)"
             }
+            Rule::R10 => {
+                "vectorization blocker: an indexed `for i in 0..n` loop subscripting \
+                 float slices affinely in the loop variable, in a kernel-reachable \
+                 lib-crate function; the bounds checks defeat autovectorization — \
+                 rewrite to iter/zip/chunks_exact form (a machine fix is attached \
+                 when the loop variable is used only as a direct subscript)"
+            }
+            Rule::R11 => {
+                "allocation in loop: Vec::new/with_capacity/collect/to_vec/clone \
+                 executed inside a loop body on a kernel-reachable hot path; hoist \
+                 the buffer out of the loop and reuse it per iteration"
+            }
+            Rule::R12 => {
+                "loop-invariant expensive call: a call whose arguments are all \
+                 loop-invariant per the dataflow lattice, sited inside a loop on a \
+                 kernel-reachable hot path; hoist the call above the loop (no \
+                 machine fix — hoisting can move borrows; rewrite by hand)"
+            }
             Rule::S0 => "suppression directive without a written reason (or unknown rule id)",
             Rule::S1 => "suppression directive that matched no diagnostic (stale allow)",
         }
@@ -167,6 +212,18 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A machine-applicable edit attached to a diagnostic: replace the
+/// byte range `span` of the diagnostic's file with `replacement`.
+/// Spans come straight from lexer token spans, so they are guaranteed
+/// to sit on UTF-8 char boundaries; the fix engine re-checks anyway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Half-open byte range `[start, end)` in the file's source text.
+    pub span: (usize, usize),
+    /// Replacement text spliced over the span.
+    pub replacement: String,
+}
+
 /// One reported finding.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
@@ -192,6 +249,9 @@ pub struct Diagnostic {
     /// inside one — the stable, line-number-free identity the baseline
     /// ratchet keys on.
     pub fn_key: Option<String>,
+    /// Machine-applicable fix, when the rule can prove the rewrite is
+    /// behavior-preserving (currently only R10 direct-subscript loops).
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -280,12 +340,13 @@ impl Report {
             .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     }
 
-    /// Machine-readable JSON document (schema version 3: v2 added the
+    /// Machine-readable JSON document (schema version 4: v2 added the
     /// per-diagnostic `chain` array and the optional `diff_base`; v3
-    /// adds the def-use `trace` array and the fn-qualified `fn` key
-    /// for the dataflow rules R7–R9).
+    /// added the def-use `trace` array and the fn-qualified `fn` key
+    /// for the dataflow rules R7–R9; v4 adds the optional `fix` object
+    /// (`{span: [start, end], replacement}`) for the perf rules).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 3,\n");
+        let mut out = String::from("{\n  \"version\": 4,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!(
             "  \"suppressions_used\": {},\n",
@@ -312,10 +373,19 @@ impl Report {
                 Some(k) => format!("\"{}\"", json_escape(k)),
                 None => "null".to_string(),
             };
+            let fix = match &d.fix {
+                Some(f) => format!(
+                    "{{\"span\": [{}, {}], \"replacement\": \"{}\"}}",
+                    f.span.0,
+                    f.span.1,
+                    json_escape(&f.replacement)
+                ),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
                 "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
                  \"severity\": \"{}\", \"message\": \"{}\", \"fn\": {fn_key}, \
-                 \"chain\": [{chain}], \"trace\": [{trace}]}}",
+                 \"chain\": [{chain}], \"trace\": [{trace}], \"fix\": {fix}}}",
                 json_escape(&d.file),
                 d.line,
                 d.rule,

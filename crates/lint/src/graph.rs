@@ -37,6 +37,21 @@ pub const FRONT_TYPES: [&str; 2] = ["LarConfig", "LassoCdConfig"];
 /// Function names that are matrix-free entry fronts for rule R6v2.
 pub const FRONT_FNS: [&str; 3] = ["cross_validate", "cross_validate_source", "fit"];
 
+/// Function names that are hot-path kernel entry points for the perf
+/// rules R10–R12 (ROADMAP item 1: the streaming correlate / column
+/// evaluation inner loops).
+pub const KERNEL_FNS: [&str; 5] = [
+    "correlate",
+    "column_block_into",
+    "columns_into",
+    "column_sq_norms",
+    "gram_active",
+];
+
+/// Files whose every non-test fn is a kernel entry point (the dense
+/// vector primitives and the Hermite evaluation the kernels sit on).
+pub const KERNEL_FILES: [&str; 2] = ["vec_ops.rs", "hermite.rs"];
+
 /// One parsed file: source tokens plus the recovered item tree. The
 /// whole workspace is parsed into units first; the call graph and the
 /// rule passes then run over the full set.
@@ -51,6 +66,9 @@ pub struct Unit {
     pub tokens: Vec<Token>,
     /// Function items parsed out of `tokens`.
     pub items: Vec<FnItem>,
+    /// The file's source text. Token spans are byte ranges into this —
+    /// the perf rules slice it to synthesize machine-applicable fixes.
+    pub src: String,
 }
 
 impl Unit {
@@ -63,6 +81,7 @@ impl Unit {
             class,
             tokens,
             items,
+            src: src.to_string(),
         }
     }
 }
@@ -113,6 +132,11 @@ pub struct Node {
     pub is_entry: bool,
     /// Reachability root for R6v2 (matrix-free front).
     pub is_front: bool,
+    /// Reachability root for the perf rules R10–R12: a hot-path kernel
+    /// entry point (`correlate`/`column_block_into`/`columns_into`/
+    /// `column_sq_norms` by name, or any fn defined in `vec_ops.rs` /
+    /// `hermite.rs`). Non-test only.
+    pub is_kernel: bool,
     /// Test code (`#[test]`, `#[cfg(test)]`, or a tests/ file).
     pub is_test: bool,
     /// Defined in an `impl`/`trait` block.
@@ -192,6 +216,7 @@ impl CallGraph {
                 segments: vec!["(module)".into()],
                 is_entry: !unit.class.is_test_file,
                 is_front: false,
+                is_kernel: false,
                 is_test: unit.class.is_test_file,
                 is_method: false,
                 module_scope: true,
@@ -210,6 +235,12 @@ impl CallGraph {
                 let is_front = !is_test
                     && (FRONT_FNS.contains(&item.name.as_str())
                         || (item.is_method && impl_type.is_some_and(|t| FRONT_TYPES.contains(&t))));
+                let in_kernel_file = KERNEL_FILES
+                    .iter()
+                    .any(|f| unit.rel.ends_with(f) && unit.class.is_lib_crate());
+                let is_kernel = !is_test
+                    && unit.class.is_lib_crate()
+                    && (KERNEL_FNS.contains(&item.name.as_str()) || in_kernel_file);
                 g.nodes.push(Node {
                     key: format!("{crate_label}::{}", segments.join("::")),
                     name: item.name.clone(),
@@ -220,6 +251,7 @@ impl CallGraph {
                     segments,
                     is_entry: !is_test && item.is_entry_visible(),
                     is_front,
+                    is_kernel,
                     is_test,
                     is_method: item.is_method,
                     module_scope: false,
@@ -480,6 +512,7 @@ impl CallGraph {
             for (on, label) in [
                 (n.is_entry, "entry"),
                 (n.is_front, "front"),
+                (n.is_kernel, "kernel"),
                 (n.is_test, "test"),
                 (n.is_method, "method"),
                 (n.shim, "shim"),

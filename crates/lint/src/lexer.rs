@@ -51,6 +51,10 @@ pub struct Token {
     pub kind: TokenKind,
     /// 1-based line of the token's first character.
     pub line: u32,
+    /// Half-open **byte** range `[start, end)` of the token in the
+    /// source text. Byte-exact so the autofix engine can splice
+    /// replacements without re-deriving offsets from char positions.
+    pub span: (usize, usize),
 }
 
 impl Token {
@@ -102,6 +106,7 @@ pub fn lex(src: &str) -> Vec<Token> {
     Lexer {
         chars: src.chars().collect(),
         pos: 0,
+        byte: 0,
         line: 1,
         out: Vec::new(),
     }
@@ -111,6 +116,8 @@ pub fn lex(src: &str) -> Vec<Token> {
 struct Lexer {
     chars: Vec<char>,
     pos: usize,
+    /// Byte offset of `chars[pos]` in the original source.
+    byte: usize,
     line: u32,
     out: Vec<Token>,
 }
@@ -124,6 +131,7 @@ impl Lexer {
         let c = self.chars.get(self.pos).copied();
         if let Some(c) = c {
             self.pos += 1;
+            self.byte += c.len_utf8();
             if c == '\n' {
                 self.line += 1;
             }
@@ -132,7 +140,11 @@ impl Lexer {
     }
 
     fn push(&mut self, kind: TokenKind, line: u32) {
-        self.out.push(Token { kind, line });
+        self.out.push(Token {
+            kind,
+            line,
+            span: (0, 0),
+        });
     }
 
     /// Pushes a [`TokenKind::Literal`] spanning `start..self.pos`.
@@ -144,6 +156,10 @@ impl Lexer {
     fn run(mut self) -> Vec<Token> {
         while let Some(c) = self.peek(0) {
             let line = self.line;
+            // Every dispatch below pushes at most one token; record the
+            // byte offset before it runs and stamp the span after.
+            let start_byte = self.byte;
+            let n_before = self.out.len();
             match c {
                 _ if c.is_whitespace() => {
                     self.bump();
@@ -156,6 +172,11 @@ impl Lexer {
                 _ if c == '_' || c.is_alphabetic() => self.ident(line),
                 _ if c.is_ascii_digit() => self.number(line),
                 _ => self.punct(line),
+            }
+            if self.out.len() > n_before {
+                if let Some(t) = self.out.last_mut() {
+                    t.span = (start_byte, self.byte);
+                }
             }
         }
         self.out
@@ -559,6 +580,26 @@ mod tests {
         assert!(ks
             .iter()
             .any(|k| matches!(k, TokenKind::Literal(s) if s.contains("RSM_THREADS"))));
+    }
+
+    #[test]
+    fn byte_spans_are_exact_and_utf8_safe() {
+        // The autofix engine splices by byte span; every span must land
+        // on char boundaries and reproduce the source slice, including
+        // after multibyte text (suppression comments use em dashes).
+        let src = "let x = a[i] + 1.0; // é — π\nnext()";
+        let ts = lex(src);
+        for t in &ts {
+            let (s, e) = t.span;
+            assert!(s < e && e <= src.len(), "bad span {:?}", t.span);
+            assert!(src.is_char_boundary(s) && src.is_char_boundary(e));
+        }
+        let a = ts.iter().find(|t| t.ident() == Some("a")).unwrap();
+        assert_eq!(&src[a.span.0..a.span.1], "a");
+        let next = ts.iter().find(|t| t.ident() == Some("next")).unwrap();
+        assert_eq!(&src[next.span.0..next.span.1], "next");
+        let num = ts.iter().find(|t| t.is_float()).unwrap();
+        assert_eq!(&src[num.span.0..num.span.1], "1.0");
     }
 
     #[test]

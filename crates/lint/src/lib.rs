@@ -46,9 +46,11 @@ pub mod baseline;
 pub mod cfg;
 pub mod dataflow;
 pub mod diag;
+pub mod fix;
 pub mod graph;
 pub mod lexer;
 pub mod parse;
+pub mod perf;
 pub mod rules;
 pub mod sarif;
 pub mod suppress;

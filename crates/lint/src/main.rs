@@ -4,6 +4,7 @@
 //! rsm-lint check [--format human|json|sarif] [--json] [--out FILE]
 //!                [--sarif-out FILE] [--diff BASE]
 //!                [--baseline FILE [--update-baseline]] [PATH...]
+//! rsm-lint fix [--check]
 //! rsm-lint graph [PATH...]
 //! rsm-lint rules [--json]
 //! ```
@@ -17,7 +18,10 @@
 //! (keyed by rule + fn-qualified path, never line numbers) are
 //! filtered out and only *new* findings fail the run;
 //! `--update-baseline` rewrites FILE from the current findings instead
-//! of failing. `graph` prints the deterministic call-graph snapshot.
+//! of failing. `fix` applies every machine-applicable edit byte-exactly
+//! and re-lints until none remain; `fix --check` applies nothing and
+//! exits 1 if any fix *would* apply (the CI fix-cleanliness gate).
+//! `graph` prints the deterministic call-graph snapshot.
 //! Exit status: 0 clean, 1 diagnostics reported, 2 usage/IO error.
 
 use rsm_lint::baseline::Baseline;
@@ -53,6 +57,7 @@ USAGE:
   rsm-lint check [--format human|json|sarif] [--json] [--out FILE]
                  [--sarif-out FILE] [--diff BASE]
                  [--baseline FILE [--update-baseline]] [PATH...]
+  rsm-lint fix [--check]
   rsm-lint graph [PATH...]
   rsm-lint rules [--json]
 
@@ -68,6 +73,10 @@ git ref BASE, plus untracked files. --baseline FILE filters findings
 accepted by the committed ratchet (keys are rule + fn-qualified path,
 never line numbers) so only new findings fail; --update-baseline
 rewrites FILE from the current findings and exits clean.
+fix applies every machine-applicable edit (today: R10 loop rewrites)
+byte-exactly and re-lints until none remain; fix --check applies
+nothing and exits 1 when any fix would apply, so CI can require a
+fix-clean tree.
 graph prints the deterministic workspace call-graph snapshot used by
 the interprocedural rules (R3/R4/R6).
 Suppress a finding with `// rsm-lint: allow(R#) — reason` (the reason
@@ -84,6 +93,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut diff_base: Option<String> = None;
     let mut baseline_file: Option<String> = None;
     let mut update_baseline = false;
+    let mut fix_check = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -110,6 +120,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                 baseline_file = Some(f.clone());
             }
             "--update-baseline" => update_baseline = true,
+            "--check" => fix_check = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(true);
@@ -138,6 +149,12 @@ fn run(args: &[String]) -> Result<bool, String> {
                 update_baseline,
                 &paths,
             )
+        }
+        "fix" => {
+            if !paths.is_empty() {
+                return Err("fix operates on the whole workspace; drop the explicit paths".into());
+            }
+            cmd_fix(fix_check)
         }
         "graph" => {
             cmd_graph(&paths)?;
@@ -212,6 +229,34 @@ fn cmd_check(
         _ => print!("{}", report.render()),
     }
     Ok(report.is_clean())
+}
+
+fn cmd_fix(check: bool) -> Result<bool, String> {
+    let root = workspace_root()?;
+    let summary = rsm_lint::fix::fix_workspace(&root, !check)?;
+    if summary.files.is_empty() {
+        println!("fix: workspace is fix-clean (nothing to apply)");
+        return Ok(true);
+    }
+    let verb = if check { "would apply" } else { "applied" };
+    for (rel, n) in &summary.files {
+        println!(
+            "fix: {verb} {n} edit{} in {rel}",
+            if *n == 1 { "" } else { "s" }
+        );
+    }
+    println!(
+        "fix: {} edit{} in {} file{} ({} lint pass{})",
+        summary.edits(),
+        if summary.edits() == 1 { "" } else { "s" },
+        summary.files.len(),
+        if summary.files.len() == 1 { "" } else { "s" },
+        summary.passes,
+        if summary.passes == 1 { "" } else { "es" },
+    );
+    // In --check mode pending fixes are a failure (the tree must be
+    // fix-clean); after a real apply the run succeeded.
+    Ok(!check)
 }
 
 fn cmd_graph(paths: &[PathBuf]) -> Result<(), String> {

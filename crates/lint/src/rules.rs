@@ -89,7 +89,8 @@ impl FileClass {
         }
     }
 
-    fn is_lib_crate(&self) -> bool {
+    /// True when the file belongs to one of the [`LIB_CRATES`].
+    pub(crate) fn is_lib_crate(&self) -> bool {
         self.crate_name
             .as_deref()
             .is_some_and(|c| LIB_CRATES.contains(&c))
@@ -140,6 +141,7 @@ pub fn lint_units<F: Fn(&str) -> bool>(units: &[Unit], emit: F) -> crate::diag::
                     chain: chain.clone(),
                     trace: Vec::new(),
                     fn_key: Some(node.key.clone()),
+                    fix: None,
                 });
             }
         }
@@ -165,6 +167,7 @@ pub fn lint_units<F: Fn(&str) -> bool>(units: &[Unit], emit: F) -> crate::diag::
                     chain: chain.clone(),
                     trace: Vec::new(),
                     fn_key: Some(node.key.clone()),
+                    fix: None,
                 });
             }
         }
@@ -188,12 +191,16 @@ pub fn lint_units<F: Fn(&str) -> bool>(units: &[Unit], emit: F) -> crate::diag::
                     chain: chain.clone(),
                     trace: Vec::new(),
                     fn_key: Some(node.key.clone()),
+                    fix: None,
                 });
             }
         }
     }
 
     dataflow_pass(units, &graph, &reach_pub, &mut raw);
+
+    let reach_kernel = graph.reach(|n| n.is_kernel);
+    crate::perf::perf_pass(units, &graph, &reach_kernel, &mut raw);
 
     let mut report = crate::diag::Report {
         files_scanned: units.len(),
@@ -351,6 +358,7 @@ fn dataflow_pass(
                         chain: Vec::new(),
                         trace: event.trace.clone(),
                         fn_key: Some(node.key.clone()),
+                        fix: None,
                     });
                 }
             }
@@ -379,6 +387,7 @@ fn local_pass(unit: &Unit, raw: &mut Vec<Diagnostic>) {
             chain: Vec::new(),
             trace: Vec::new(),
             fn_key: fn_key_at(unit, line),
+            fix: None,
         });
     };
 

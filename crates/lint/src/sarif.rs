@@ -16,7 +16,7 @@ use crate::diag::{json_escape, Report, Rule, Severity};
 
 /// All rules advertised in the SARIF `tool.driver.rules` array, in
 /// stable id order.
-const ALL_RULES: [Rule; 11] = [
+const ALL_RULES: [Rule; 14] = [
     Rule::R1,
     Rule::R2,
     Rule::R3,
@@ -26,6 +26,9 @@ const ALL_RULES: [Rule; 11] = [
     Rule::R7,
     Rule::R8,
     Rule::R9,
+    Rule::R10,
+    Rule::R11,
+    Rule::R12,
     Rule::S0,
     Rule::S1,
 ];
@@ -77,11 +80,26 @@ pub fn to_sarif(report: &Report) -> String {
             text.push_str(if k == 0 { "\nflow: " } else { "\n   -> " });
             text.push_str(frame);
         }
+        // Machine-applicable edits ride along as a SARIF `fix` with a
+        // byte-addressed deletedRegion (byteOffset/byteLength).
+        let fixes = match &d.fix {
+            Some(f) => format!(
+                ",\n          \"fixes\": [{{\"artifactChanges\": [{{\
+                 \"artifactLocation\": {{\"uri\": \"{}\"}}, \
+                 \"replacements\": [{{\"deletedRegion\": {{\"byteOffset\": {}, \
+                 \"byteLength\": {}}}, \"insertedContent\": {{\"text\": \"{}\"}}}}]}}]}}]",
+                json_escape(&d.file),
+                f.span.0,
+                f.span.1 - f.span.0,
+                json_escape(&f.replacement)
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"{}\",\n          \
              \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
              {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
-             \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}",
+             \"region\": {{\"startLine\": {}}}}}}}\n          ]{fixes}\n        }}",
             d.rule.id(),
             level(d.rule.severity()),
             json_escape(&text),
@@ -114,6 +132,7 @@ mod tests {
                 ],
                 trace: vec!["`tol` = 1e-9 (crates/core/src/lar.rs:40)".into()],
                 fn_key: Some("core::lar::step".into()),
+                fix: None,
             }],
             files_scanned: 1,
             suppressions_used: 0,

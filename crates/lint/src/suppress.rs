@@ -142,6 +142,7 @@ impl SuppressionSet {
                 chain: Vec::new(),
                 trace: Vec::new(),
                 fn_key: None,
+                fix: None,
             });
         }
         for s in &self.entries {
@@ -157,6 +158,7 @@ impl SuppressionSet {
                     chain: Vec::new(),
                     trace: Vec::new(),
                     fn_key: None,
+                    fix: None,
                 });
             }
         }

@@ -1,0 +1,36 @@
+//! R10 negative: iterator-style loops, field/tuple subscripts, and
+//! indexed loops outside the kernel cone stay silent.
+
+pub struct Grid {
+    data: Vec<f64>,
+    cols: usize,
+}
+
+/// Kernel root: already lockstep-iterator form.
+pub fn correlate(x: &[f64], y: &mut [f64]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += xi;
+    }
+    let g = Grid {
+        data: vec![0.0; 4],
+        cols: 2,
+    };
+    walk(&g);
+}
+
+/// In the cone, but field-base and strided subscripts are not the
+/// R10 shape (2D indexing needs a layout change, not a zip).
+fn walk(g: &Grid) {
+    let mut s = 0.0;
+    for r in 0..g.cols {
+        s += g.data[r * g.cols + r];
+    }
+    let _ = s;
+}
+
+/// Not reachable from any kernel root: out of R10 scope.
+pub fn cold_path(x: &[f64], y: &mut [f64], n: usize) {
+    for i in 0..n {
+        y[i] = x[i];
+    }
+}

@@ -1,0 +1,19 @@
+//! R10 fixture: indexed loops over float slices in a kernel-cone fn.
+//! Three firing shapes — one machine-fixable, two warn-only.
+
+/// Kernel root by name (fixture mode lints the file as lib code).
+pub fn correlate(x: &[f64], y: &mut [f64], n: usize) {
+    // Machine-fixable: direct subscripts, pure bounds, straight line.
+    for i in 0..n {
+        y[i] = 2.0 * x[i];
+    }
+    // Warn-only: the loop variable is also used as a value.
+    for i in 0..n {
+        y[i] = x[i] * (i as f64);
+    }
+    // Warn-only: affine alias with an offset subscript.
+    for i in 0..n / 2 {
+        let j = 2 * i;
+        y[j] = x[j] + x[j + 1];
+    }
+}

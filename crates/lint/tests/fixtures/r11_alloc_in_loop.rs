@@ -1,0 +1,23 @@
+//! R11 fixture: allocations inside kernel-cone loop bodies — a
+//! `.to_vec()` in a `for`, a `format!` in a `while`, and a `.push`
+//! into a buffer that was NOT preallocated.
+
+/// Kernel root.
+pub fn column_sq_norms(cols: &[Vec<f64>]) -> f64 {
+    let mut total = 0.0;
+    for c in cols {
+        let copy = c.to_vec();
+        total += copy.len() as f64;
+    }
+    let mut k = 0;
+    while k < cols.len() {
+        let label = format!("c{k}");
+        total += label.len() as f64;
+        k += 1;
+    }
+    let mut grown = Vec::new();
+    for c in cols {
+        grown.push(c.len());
+    }
+    total + grown.len() as f64
+}

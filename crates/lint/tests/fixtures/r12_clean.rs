@@ -1,0 +1,28 @@
+//! R12 negative: calls whose arguments change per iteration (loop
+//! binder, assignment, or interior mutation through a method call),
+//! or that are already hoisted, are not reported.
+
+fn norm2(x: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &v in x {
+        s += v * v;
+    }
+    s
+}
+
+/// Kernel root.
+pub fn correlate(cols: &[Vec<f64>], res: &mut Vec<f64>) -> f64 {
+    // Hoisted: computed once, above the loop.
+    let base = norm2(res);
+    let mut acc = base;
+    for c in cols {
+        // Variant: `c` is the loop binder.
+        acc += norm2(c);
+        // Variant: `res` is mutated through a method call, so the
+        // second `norm2(res)` is not invariant.
+        res.clear();
+        let g = norm2(res);
+        acc += g;
+    }
+    acc
+}

@@ -1,0 +1,22 @@
+//! R12 fixture: an expensive call whose arguments never change inside
+//! the loop — it recomputes the same value every iteration.
+
+fn norm2(x: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &v in x {
+        s += v * v;
+    }
+    s
+}
+
+/// Kernel root: `norm2(reference)` is loop-invariant in the sweep.
+pub fn correlate(reference: &[f64], steps: usize) -> f64 {
+    let mut acc = 0.0;
+    let mut k = 0;
+    while k < steps {
+        let scale = norm2(reference);
+        acc += scale;
+        k += 1;
+    }
+    acc
+}

@@ -249,18 +249,69 @@ fn malformed_and_stale_suppressions_are_diagnosed() {
 }
 
 #[test]
+fn r10_positive_and_negative() {
+    // Three indexed loops in the kernel-cone fn: direct subscripts
+    // (fixable), loop-var-as-value, and an affine alias (warn-only).
+    let fired = rules_for("r10_indexed_loop.rs");
+    assert_eq!(fired, vec![Rule::R10, Rule::R10, Rule::R10]);
+    let report = lint_paths(&[fixture("r10_indexed_loop.rs")]).expect("fixture readable");
+    let fixes: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter_map(|d| d.fix.as_ref())
+        .collect();
+    assert_eq!(fixes.len(), 1, "{:?}", report.diagnostics);
+    // The rewrite keeps the body's original layout between the braces.
+    assert_eq!(
+        fixes[0].replacement,
+        "for (y_it, x_it) in y[..n].iter_mut().zip(&x[..n]) {\n        *y_it = 2.0 * (*x_it);\n    }"
+    );
+    // Iterator loops, field-base subscripts, and loops outside the
+    // kernel cone stay silent.
+    assert!(rules_for("r10_clean.rs").is_empty());
+}
+
+#[test]
+fn r11_positive_and_negative() {
+    // `.to_vec()` in a for, `format!` in a while, `.push` into a
+    // non-preallocated Vec.
+    assert_eq!(
+        rules_for("r11_alloc_in_loop.rs"),
+        vec![Rule::R11, Rule::R11, Rule::R11]
+    );
+    // Hoisted scratch, `with_capacity`-backed `.push`, and non-cone
+    // allocations are sanctioned.
+    assert!(rules_for("r11_clean.rs").is_empty());
+}
+
+#[test]
+fn r12_positive_and_negative() {
+    // `norm2(reference)` recomputed every iteration of the while loop.
+    assert_eq!(rules_for("r12_invariant_call.rs"), vec![Rule::R12]);
+    let report = lint_paths(&[fixture("r12_invariant_call.rs")]).expect("fixture readable");
+    assert!(
+        report.diagnostics[0].message.contains("norm2"),
+        "{:?}",
+        report.diagnostics
+    );
+    // Hoisted calls, loop-binder args, and receiver-mutated args are
+    // all variant or already optimal.
+    assert!(rules_for("r12_clean.rs").is_empty());
+}
+
+#[test]
 fn whole_corpus_diagnostic_census() {
     // Linting the entire fixtures directory at once exercises the
     // directory walker and gives a single census that must stay in
     // sync with the per-file assertions above.
     let report = lint_paths(&[fixture("")]).expect("fixtures dir readable");
-    assert_eq!(report.files_scanned, 21);
+    assert_eq!(report.files_scanned, 27);
     // r1=6, r2=3, r3=2, r4=3, r5=2, bad_suppression=3, r6=2,
-    // v2_chain=1, v2_shim=1, r7=3, r8=2, r9=3; the v2 and dataflow
-    // negatives contribute nothing.
+    // v2_chain=1, v2_shim=1, r7=3, r8=2, r9=3, r10=3, r11=3, r12=1;
+    // the v2, dataflow, and perf negatives contribute nothing.
     assert_eq!(
         report.diagnostics.len(),
-        6 + 3 + 2 + 3 + 2 + 3 + 2 + 1 + 1 + 3 + 2 + 3
+        6 + 3 + 2 + 3 + 2 + 3 + 2 + 1 + 1 + 3 + 2 + 3 + 3 + 3 + 1
     );
     // Deterministic ordering: report is sorted by (file, line, rule).
     let mut sorted = report.diagnostics.clone();
@@ -274,8 +325,10 @@ fn whole_corpus_diagnostic_census() {
 fn json_report_is_well_formed_enough() {
     let report = lint_paths(&[fixture("r5_unsafe.rs")]).expect("fixture readable");
     let json = report.to_json();
-    assert!(json.contains("\"version\": 3"));
+    assert!(json.contains("\"version\": 4"));
     assert!(json.contains("\"clean\": false"));
+    // v4: every diagnostic carries a `fix` field (null when warn-only).
+    assert!(json.contains("\"fix\": null"));
     assert!(json.contains("\"rule\": \"R5\""));
     assert!(json.contains("r5_unsafe.rs"));
     // Balanced braces/brackets (cheap structural sanity check).

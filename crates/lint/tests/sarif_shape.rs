@@ -63,7 +63,7 @@ fn sarif_document_has_the_2_1_0_required_shape() {
     let ids: Vec<&str> = rules.iter().map(|r| string(obj(r, "id"))).collect();
     assert_eq!(
         ids,
-        ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "S0", "S1"]
+        ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "S0", "S1"]
     );
     for rule in rules {
         assert!(!string(obj(obj(rule, "shortDescription"), "text")).is_empty());
@@ -118,4 +118,30 @@ fn sarif_results_carry_rule_location_and_chain() {
         text.contains("entry_point"),
         "chain should start at the entry: {text}"
     );
+}
+
+#[test]
+fn sarif_fix_rides_along_as_byte_addressed_replacement() {
+    // v4: a machine-applicable fix becomes a SARIF `fixes` entry with a
+    // byteOffset/byteLength deletedRegion and the replacement text.
+    let report =
+        lint_paths(&[PathBuf::from("tests/fixtures/r10_indexed_loop.rs")]).expect("fixture lints");
+    let doc = sarif::to_sarif(&report);
+    let root = serde_json::parse(&doc).expect("SARIF is valid JSON");
+    let runs = arr(obj(&root, "runs"));
+    let results = arr(obj(&runs[0], "results"));
+
+    let with_fix: Vec<&Value> = results
+        .iter()
+        .filter(|r| r.get("fixes").is_some())
+        .collect();
+    assert_eq!(with_fix.len(), 1, "exactly one machine-fixable finding");
+    let fixes = arr(obj(with_fix[0], "fixes"));
+    let changes = arr(obj(&fixes[0], "artifactChanges"));
+    let repls = arr(obj(&changes[0], "replacements"));
+    let region = obj(&repls[0], "deletedRegion");
+    assert!(num(obj(region, "byteOffset")) >= 0.0);
+    assert!(num(obj(region, "byteLength")) > 0.0);
+    let text = string(obj(obj(&repls[0], "insertedContent"), "text"));
+    assert!(text.contains("iter_mut().zip"), "{text}");
 }

@@ -88,7 +88,20 @@ fn check_binary_exit_codes() {
         .expect("spawn rsm-lint");
     assert!(out.status.success());
     let written = std::fs::read_to_string(&artifact).expect("artifact written");
-    assert!(written.contains("\"version\": 3"));
+    assert!(written.contains("\"version\": 4"));
+
+    // fix --check: the committed tree has no pending machine fixes, so
+    // the dry-run gate exits 0 (it exits 1 when a fix would apply).
+    let fix_check = std::process::Command::new(bin)
+        .args(["fix", "--check"])
+        .current_dir(&root)
+        .output()
+        .expect("spawn rsm-lint");
+    assert!(
+        fix_check.status.success(),
+        "fix --check found pending fixes:\n{}",
+        String::from_utf8_lossy(&fix_check.stdout)
+    );
 
     // --format sarif emits a SARIF 2.1.0 document on stdout, and
     // --sarif-out writes it alongside whatever stdout format is active

@@ -138,6 +138,7 @@ where
         let next = &next;
         let map = &map;
         for _ in 0..workers {
+            // rsm-lint: allow(R11) — one Sender clone per spawned worker (outside the per-chunk hot loop); each worker must own a Sender so the channel disconnects when all drop
             let tx = tx.clone();
             scope.spawn(move || {
                 IN_WORKER.with(|w| w.set(true));
@@ -196,6 +197,7 @@ where
         let next = &next;
         let f = &f;
         for _ in 0..workers {
+            // rsm-lint: allow(R11) — one Sender clone per spawned worker (outside the per-chunk hot loop); each worker must own a Sender so the channel disconnects when all drop
             let tx = tx.clone();
             scope.spawn(move || {
                 IN_WORKER.with(|w| w.set(true));

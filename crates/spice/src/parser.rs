@@ -136,12 +136,16 @@ pub fn parse(netlist: &str) -> Result<ParsedCircuit> {
             )));
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
-        let name = toks[0].to_ascii_uppercase();
+        let name = match toks.first() {
+            Some(t) => t.to_ascii_uppercase(),
+            None => continue, // unreachable: `line` is non-empty after trim
+        };
         if seen_names.insert(name.clone(), lineno).is_some() {
             return Err(err(format!("duplicate element name '{name}'")));
         }
-        // rsm-lint: allow(R3) — split_whitespace never yields empty tokens
-        let kind = name.chars().next().expect("nonempty token");
+        let Some(kind) = name.chars().next() else {
+            return Err(err("empty element name".to_string()));
+        };
         match kind {
             'R' | 'C' | 'L' => {
                 if toks.len() != 4 {
