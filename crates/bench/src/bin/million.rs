@@ -13,7 +13,7 @@
 //! exact support recovery + small relative error, at a fitting cost of
 //! minutes on one core.
 //!
-//! Run: `cargo run --release -p rsm-bench --bin million [-- --quick | -- --smoke]`
+//! Run: `cargo run --release -p rsm-bench --bin million [-- --quick | -- --smoke] [-- --stream]`
 //!
 //! Modes:
 //! - (default) full size: `M ≈ 10⁶`, `K = 1000`, OMP + LAR + CV(LAR);
@@ -22,22 +22,33 @@
 //!   exits nonzero unless both methods recover the planted support —
 //!   the CI gate for the streaming path.
 //!
-//! Per-method records (method, M, K, threads, fit seconds, peak-RSS
-//! estimate, errors) are written to `results/BENCH_sources.json`; the
-//! OMP record additionally keeps its historical shape in
-//! `results/million.json`.
+//! `--stream` (composable with any mode) additionally runs the
+//! pipelined drivers: OMP and LAR consume batched
+//! [`rsm_core::SampleDelta`] production through warm
+//! [`rsm_core::MethodSession`]s, and CV(LAR) advances
+//! all folds in λ-lockstep with early stopping once the error curve
+//! flattens. The smoke gate then also requires the pipelined solvers
+//! to recover the planted support. Streaming rows carry the batch
+//! size, production/CV wall-clock split, and explored-λ count, so
+//! `results/BENCH_sources.json` shows before/after per-step and CV
+//! wall-clock columns side by side.
+//!
+//! Per-method records (method, M, K, threads, fit seconds, per-step
+//! seconds, peak-RSS estimate, errors) are written to
+//! `results/BENCH_sources.json`; the OMP record additionally keeps its
+//! historical shape in `results/million.json`.
 
 use rsm_basis::{Dictionary, DictionaryKind};
 use rsm_bench::{peak_rss_mb, save_json, timed, RunOptions};
 use rsm_core::lar::LarConfig;
 use rsm_core::ls::LsConfig;
 use rsm_core::omp::OmpConfig;
-use rsm_core::select::CvConfig;
+use rsm_core::select::{cross_validate_source, CvConfig};
 use rsm_core::source::{AtomSource, DictionarySource};
-use rsm_core::{solver, Method, ModelOrder, SparseModel};
+use rsm_core::{solver, Method, ModelOrder, SparseModel, StreamConfig};
 use rsm_linalg::Matrix;
 use rsm_stats::metrics::relative_error;
-use rsm_stats::NormalSampler;
+use rsm_stats::{EarlyStopRule, NormalSampler};
 use serde::Serialize;
 
 /// OLS refit on a selected support (the paper's final step: LAR picks
@@ -88,6 +99,19 @@ struct SourceBenchRecord {
     lambda: usize,
     /// Cross-validated choice of λ, when the method ran under CV.
     cv_best_lambda: Option<usize>,
+    /// Wall-clock seconds per path step (fixed-order rows only) — the
+    /// before/after column for the pipelined driver.
+    step_seconds: Option<f64>,
+    /// Wall-clock seconds of the cross-validation λ walk alone (CV
+    /// rows only; excludes the final full-data fit).
+    cv_wall_seconds: Option<f64>,
+    /// Sample rows per pipeline batch (streaming rows only).
+    stream_batch: Option<usize>,
+    /// Wall-clock seconds in sample→delta production (streaming rows).
+    produce_seconds: Option<f64>,
+    /// Largest λ actually explored by CV (streaming CV rows; smaller
+    /// than `lambda_max` when early stopping fired).
+    lambda_explored: Option<usize>,
 }
 
 struct Problem {
@@ -168,6 +192,7 @@ fn build_problem(n: usize, k: usize, k_test: usize, p: usize) -> Problem {
 fn main() {
     let opts = RunOptions::from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let stream = std::env::args().any(|a| a == "--stream");
     // N chosen so the quadratic dictionary crosses 10⁶ (full) or 10⁵
     // (quick/smoke) terms.
     let n = if smoke { 446 } else { opts.pick(1413, 446) };
@@ -190,6 +215,8 @@ fn main() {
     let expected = prob.expected_support();
     let lambda = prob.truth.len() + 5;
     let threads = opts.threads;
+    // Pipeline work unit: eight batches across the sample set.
+    let batch_rows = (k / 8).max(1);
     let mut records: Vec<SourceBenchRecord> = Vec::new();
     let mut all_recovered = true;
 
@@ -218,6 +245,11 @@ fn main() {
         support_recovered_exactly: omp_exact,
         lambda: prob.truth.len(),
         cv_best_lambda: None,
+        step_seconds: Some(omp_secs / path.len() as f64),
+        cv_wall_seconds: None,
+        stream_batch: None,
+        produce_seconds: None,
+        lambda_explored: None,
     });
 
     // Historical single-method record (kept for trajectory continuity).
@@ -267,20 +299,37 @@ fn main() {
         support_recovered_exactly: lar_exact,
         lambda: prob.truth.len(),
         cv_best_lambda: None,
+        step_seconds: Some(lar_secs / lar_path.len() as f64),
+        cv_wall_seconds: None,
+        stream_batch: None,
+        produce_seconds: None,
+        lambda_explored: None,
     });
 
     // --- cross-validated LAR (skipped in smoke mode) ---------------
     if !smoke {
         let lmax = opts.pick(25, 8).max(p + 5);
         println!("\nrunning 4-fold cross-validated LAR to λ_max = {lmax} …");
-        let order = ModelOrder::CrossValidated(CvConfig::new(lmax));
-        let (rep, cv_secs) = timed(|| solver::fit(&src, &prob.f, Method::Lar, &order).unwrap());
-        let cv_model = debias(&src, &prob.f, &rep.model.support());
+        // The same composition as `solver::fit` with
+        // `ModelOrder::CrossValidated`, unrolled so the λ walk and the
+        // final full-data fit are timed separately (the streaming
+        // driver reports the same split via `StreamReport`).
+        let cvcfg = CvConfig::new(lmax);
+        let (cv, cv_walk_secs) = timed(|| {
+            cross_validate_source(&src, &prob.f, &cvcfg, |gt, ft| {
+                solver::fit_path(Method::Lar, gt, ft, cvcfg.lambda_max)
+            })
+            .unwrap()
+        });
+        let (cv_path, cv_final_secs) =
+            timed(|| solver::fit_path(Method::Lar, &src, &prob.f, cv.best_lambda).unwrap());
+        let cv_secs = cv_walk_secs + cv_final_secs;
+        let cv_model = debias(&src, &prob.f, &cv_path.model_at(cv.best_lambda).support());
         let (cv_train, cv_test, cv_exact) = prob.score(&cv_model);
-        let best = rep.cv.as_ref().map(|cv| cv.best_lambda);
         println!(
-            "CV(LAR): {cv_secs:.1}s, best λ = {}, support {}, train {:.2}%, test {:.2}%",
-            rep.lambda,
+            "CV(LAR): {cv_secs:.1}s ({cv_walk_secs:.1}s λ walk), best λ = {}, support {}, \
+             train {:.2}%, test {:.2}%",
+            cv.best_lambda,
             if cv_exact { "EXACT" } else { "partial" },
             cv_train * 100.0,
             cv_test * 100.0
@@ -295,8 +344,99 @@ fn main() {
             train_error: cv_train,
             test_error: cv_test,
             support_recovered_exactly: cv_exact,
-            lambda: rep.lambda,
-            cv_best_lambda: best,
+            lambda: cv.best_lambda,
+            cv_best_lambda: Some(cv.best_lambda),
+            step_seconds: None,
+            cv_wall_seconds: Some(cv_walk_secs),
+            stream_batch: None,
+            produce_seconds: None,
+            lambda_explored: None,
+        });
+    }
+
+    // --- pipelined variants (`--stream`) ---------------------------
+    if stream {
+        println!("\n--- pipelined drivers (batch = {batch_rows} rows) ---");
+        for (name, method) in [("OMP", Method::Omp), ("LAR", Method::Lar)] {
+            let order = ModelOrder::Fixed(prob.truth.len());
+            let cfg = StreamConfig::new(batch_rows);
+            let (sr, secs) =
+                timed(|| solver::fit_streaming(&src, &prob.f, method, &order, &cfg).unwrap());
+            let model = if method == Method::Lar {
+                debias(&src, &prob.f, &sr.report.model.support())
+            } else {
+                sr.report.model.clone()
+            };
+            let (tr, te, exact) = prob.score(&model);
+            println!(
+                "{name}(stream): {secs:.1}s ({:.1}s per step, {:.1}s producing {} batches), \
+                 support {}, train {:.2}%, test {:.2}%",
+                secs / sr.report.lambda as f64,
+                sr.produce_seconds,
+                sr.batches,
+                if exact { "EXACT" } else { "partial" },
+                tr * 100.0,
+                te * 100.0
+            );
+            all_recovered &= exact;
+            records.push(SourceBenchRecord {
+                method: format!("{name}(stream)"),
+                m,
+                k,
+                threads,
+                fit_seconds: secs,
+                peak_rss_mb: peak_rss_mb(),
+                train_error: tr,
+                test_error: te,
+                support_recovered_exactly: exact,
+                lambda: sr.report.lambda,
+                cv_best_lambda: None,
+                step_seconds: Some(secs / sr.report.lambda as f64),
+                cv_wall_seconds: None,
+                stream_batch: Some(batch_rows),
+                produce_seconds: Some(sr.produce_seconds),
+                lambda_explored: None,
+            });
+        }
+
+        // Early-stopped lockstep CV — runs in every mode, including
+        // smoke, where it is the gate's coverage of the CV pipeline
+        // (the batch CV above stays full-mode-only for CI time).
+        let lmax = opts.pick(25, 8).max(p + 5);
+        println!("running early-stopped lockstep CV(LAR) to λ_max = {lmax} …");
+        let order = ModelOrder::CrossValidated(CvConfig::new(lmax));
+        let cfg = StreamConfig::new(batch_rows).with_early_stop(EarlyStopRule::new());
+        let (sr, secs) =
+            timed(|| solver::fit_streaming(&src, &prob.f, Method::Lar, &order, &cfg).unwrap());
+        let cv_model = debias(&src, &prob.f, &sr.report.model.support());
+        let (tr, te, exact) = prob.score(&cv_model);
+        println!(
+            "CV(LAR, stream): {secs:.1}s ({:.1}s λ walk, explored λ ≤ {} of {lmax}), \
+             best λ = {}, support {}, train {:.2}%, test {:.2}%",
+            sr.cv_seconds,
+            sr.lambda_explored,
+            sr.report.lambda,
+            if exact { "EXACT" } else { "partial" },
+            tr * 100.0,
+            te * 100.0
+        );
+        records.push(SourceBenchRecord {
+            method: "LAR+CV(stream)".into(),
+            m,
+            k,
+            threads,
+            fit_seconds: secs,
+            peak_rss_mb: peak_rss_mb(),
+            train_error: tr,
+            test_error: te,
+            support_recovered_exactly: exact,
+            lambda: sr.report.lambda,
+            cv_best_lambda: sr.report.cv.as_ref().map(|cv| cv.best_lambda),
+            step_seconds: None,
+            cv_wall_seconds: Some(sr.cv_seconds),
+            stream_batch: Some(batch_rows),
+            produce_seconds: Some(sr.produce_seconds),
+            lambda_explored: Some(sr.lambda_explored),
         });
     }
 

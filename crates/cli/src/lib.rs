@@ -34,7 +34,7 @@ struct Options {
 }
 
 /// Flags that take no value (presence alone turns them on).
-const BOOL_FLAGS: &[&str] = &["implicit", "stdio"];
+const BOOL_FLAGS: &[&str] = &["implicit", "stdio", "early-stop"];
 
 impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
@@ -81,6 +81,7 @@ rsm — sparse response-surface modeling (OMP / LAR / STAR / LS)
 USAGE:
   rsm fit --input <samples.csv> --response <column> [--method omp|lar|star|ls]
           [--basis linear|quadratic] [--lambda-max N] [--lambda N] [--implicit]
+          [--stream <batch>] [--early-stop]
           [--model out.json] [--emit-c out.c] [--emit-veriloga out.va]
   rsm predict --model <model.json> --input <samples.csv> [--output pred.csv]
   rsm serve --model <model.json> (--stdio | --listen <addr:port> | --unix <path>)
@@ -102,6 +103,14 @@ affects speed: fitted models are bit-identical for any value.
 --implicit streams the basis dictionary instead of materializing the
 K x M design matrix — required memory drops from O(K*M) to O(K + M),
 which is what makes million-basis dictionaries fit in RAM.
+
+--stream <batch> runs the pipelined driver (omp and lar only): worker
+threads sweep <batch>-row sample batches while the fitter consumes
+them in row order, and cross-validation folds advance in lockstep on
+warm incremental sessions instead of re-fitting per lambda.
+--early-stop additionally cuts the CV lambda walk short once the
+cross-fold error curve flattens (requires --stream). Results are
+bit-identical across thread counts for a fixed batch size.
 
 The CSV has one sample per row; every column except the response is a
 variation variable. A header row is auto-detected.
@@ -185,23 +194,42 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
             .map_err(|_| "--lambda-max must be an integer")?;
         ModelOrder::CrossValidated(CvConfig::new(lmax))
     };
-    let (report, train_error) = if opts.boolean("implicit") {
+    let stream = match opts.optional("stream") {
+        Some(b) => {
+            let batch: usize = b
+                .parse()
+                .map_err(|_| "--stream must be a positive integer (batch rows)".to_string())?;
+            if batch == 0 {
+                return Err("--stream must be a positive integer (batch rows)".to_string());
+            }
+            let mut cfg = solver::StreamConfig::new(batch);
+            if opts.boolean("early-stop") {
+                cfg = cfg.with_early_stop(rsm_stats::EarlyStopRule::new());
+            }
+            Some(cfg)
+        }
+        None if opts.boolean("early-stop") => {
+            return Err("--early-stop requires --stream".to_string());
+        }
+        None => None,
+    };
+    let (report, pipeline, train_error) = if opts.boolean("implicit") {
         // Matrix-free: the solver streams dictionary columns on
         // demand; the K×M design matrix is never allocated.
         let src = DictionarySource::new(&dict, &inputs);
-        let report = solver::fit(&src, &f, method, &order).map_err(|e| e.to_string())?;
+        let (report, pipeline) = fit_report(&src, &f, method, &order, stream.as_ref())?;
         let pred: Vec<f64> = (0..inputs.rows())
             .map(|r| report.model.predict_point(&dict, inputs.row(r)))
             .collect();
         let err = relative_error(&pred, &f);
-        (report, err)
+        (report, pipeline, err)
     } else {
         // Explicit dense path, chosen by the user; R6v2 accepts it
         // because no matrix-free entry front reaches this call.
         let g = dict.design_matrix(&inputs);
-        let report = solver::fit(&g, &f, method, &order).map_err(|e| e.to_string())?;
+        let (report, pipeline) = fit_report(&g, &f, method, &order, stream.as_ref())?;
         let err = relative_error(&report.model.predict_matrix(&g), &f);
-        (report, err)
+        (report, pipeline, err)
     };
 
     let bundle = ModelBundle {
@@ -234,6 +262,9 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
             cv.best_error * 100.0
         );
     }
+    if let Some(line) = pipeline {
+        let _ = writeln!(out, "{line}");
+    }
     if let Some(path) = opts.optional("model") {
         let json = bundle.to_json().map_err(|e| e.to_string())?;
         write_file(path, &json)?;
@@ -251,6 +282,32 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
         let _ = writeln!(out, "Verilog-A source written to {path}");
     }
     Ok(out)
+}
+
+/// Dispatches one fit to the batch driver or, when `--stream` was
+/// given, to the pipelined driver — returning the report plus a
+/// pipeline-diagnostics line for the latter.
+fn fit_report<S: rsm_core::source::AtomSource + ?Sized + Sync>(
+    g: &S,
+    f: &[f64],
+    method: Method,
+    order: &ModelOrder,
+    stream: Option<&solver::StreamConfig>,
+) -> Result<(solver::FitReport, Option<String>), String> {
+    match stream {
+        Some(cfg) => {
+            let sr = solver::fit_streaming(g, f, method, order, cfg).map_err(|e| e.to_string())?;
+            let line = format!(
+                "pipeline: {} batches of {}, λ explored = {}, produce {:.3}s, cv {:.3}s",
+                sr.batches, cfg.batch, sr.lambda_explored, sr.produce_seconds, sr.cv_seconds
+            );
+            Ok((sr.report, Some(line)))
+        }
+        None => Ok((
+            solver::fit(g, f, method, order).map_err(|e| e.to_string())?,
+            None,
+        )),
+    }
 }
 
 fn load_bundle(opts: &Options) -> Result<ModelBundle, String> {
@@ -747,6 +804,86 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("unknown method"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn stream_flag_runs_the_pipelined_driver() {
+        let (dir, csv_path) = sample_csv(120, 8);
+        let m_batch = dir.join("batch.json").to_string_lossy().into_owned();
+        let m_stream = dir.join("stream.json").to_string_lossy().into_owned();
+        let base = &[
+            "fit",
+            "--input",
+            &csv_path,
+            "--response",
+            "delay",
+            "--method",
+            "lar",
+            "--lambda",
+            "4",
+        ];
+        run(&s(&[&base[..], &["--model", &m_batch]].concat())).unwrap();
+        let out = run(&s(
+            &[&base[..], &["--stream", "32", "--model", &m_stream]].concat()
+        ))
+        .unwrap();
+        assert!(out.contains("pipeline: 4 batches of 32"), "{out}");
+        // Multi-batch sweeps differ from the single sweep in low-order
+        // bits only: the selected support must match the batch driver.
+        let b = ModelBundle::from_json(&std::fs::read_to_string(&m_batch).unwrap()).unwrap();
+        let st = ModelBundle::from_json(&std::fs::read_to_string(&m_stream).unwrap()).unwrap();
+        assert_eq!(b.model.support(), st.model.support());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn stream_cv_reports_explored_lambda() {
+        let (dir, csv_path) = sample_csv(100, 9);
+        let out = run(&s(&[
+            "fit",
+            "--input",
+            &csv_path,
+            "--response",
+            "delay",
+            "--method",
+            "omp",
+            "--lambda-max",
+            "20",
+            "--stream",
+            "25",
+            "--early-stop",
+        ]))
+        .unwrap();
+        assert!(out.contains("cross-validation"), "{out}");
+        assert!(out.contains("λ explored"), "{out}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn stream_flag_validation() {
+        let (dir, csv_path) = sample_csv(30, 10);
+        let base = &["fit", "--input", &csv_path, "--response", "delay"];
+        // --early-stop without --stream.
+        assert!(run(&s(&[&base[..], &["--early-stop"]].concat()))
+            .unwrap_err()
+            .contains("requires --stream"));
+        // Zero / non-numeric batch.
+        for bad in ["0", "lots"] {
+            assert!(run(&s(&[&base[..], &["--stream", bad]].concat()))
+                .unwrap_err()
+                .contains("--stream"));
+        }
+        // Methods without incremental sessions.
+        for m in ["star", "ls"] {
+            assert!(run(&s(&[
+                &base[..],
+                &["--method", m, "--lambda", "3", "--stream", "10"]
+            ]
+            .concat()))
+            .unwrap_err()
+            .contains("streaming"));
+        }
         std::fs::remove_dir_all(dir).ok();
     }
 }

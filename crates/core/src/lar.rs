@@ -15,14 +15,15 @@
 //! Predictors are normalized internally to unit column norm (the
 //! algorithm's equal-angle geometry assumes it); reported coefficients
 //! are rescaled back to the caller's dictionary.
+//!
+//! The path loop itself lives in [`crate::session::LarSession`]; the
+//! entry points here are thin single-batch wrappers over it.
 
 use crate::model::SparseModel;
 use crate::path::SparsePath;
+use crate::session::{FitSession, LarSession};
 use crate::source::AtomSource;
-use crate::{CoreError, Result};
-use rsm_linalg::cholesky::GrowingCholesky;
-use rsm_linalg::tol;
-use rsm_linalg::vec_ops::{axpy, dot, norm2};
+use crate::Result;
 use rsm_linalg::Matrix;
 
 /// LARS configuration.
@@ -59,9 +60,9 @@ impl LarConfig {
     ///
     /// # Errors
     ///
-    /// - [`CoreError::ShapeMismatch`] if `f.len() != g.rows()`;
-    /// - [`CoreError::BadConfig`] if `max_steps == 0`;
-    /// - [`CoreError::Numerical`] if the active-set Gram factorization
+    /// - [`CoreError::ShapeMismatch`](crate::CoreError::ShapeMismatch) if `f.len() != g.rows()`;
+    /// - [`CoreError::BadConfig`](crate::CoreError::BadConfig) if `max_steps == 0`;
+    /// - [`CoreError::Numerical`](crate::CoreError::Numerical) if the active-set Gram factorization
     ///   breaks down irrecoverably.
     pub fn fit(&self, g: &Matrix, f: &[f64]) -> Result<SparsePath> {
         self.fit_source(g, f)
@@ -76,224 +77,18 @@ impl LarConfig {
     /// is two [`AtomSource::correlate`] streams plus `O(K)` work per
     /// active column; scratch is `O(K·|A| + M)`, never `O(K·M)`.
     ///
+    /// This is a single-batch wrapper over [`LarSession`]: all samples
+    /// are fed in one [`FitSession::extend_samples`] call and the path
+    /// is run to completion.
+    ///
     /// # Errors
     ///
     /// As [`Self::fit`].
     pub fn fit_source<S: AtomSource + ?Sized>(&self, g: &S, f: &[f64]) -> Result<SparsePath> {
-        let (k, m) = (g.num_rows(), g.num_atoms());
-        if f.len() != k {
-            return Err(CoreError::ShapeMismatch {
-                expected: format!("response of length {k}"),
-                found: format!("length {}", f.len()),
-            });
-        }
-        if self.max_steps == 0 {
-            return Err(CoreError::BadConfig("max_steps must be at least 1".into()));
-        }
-        if f.iter().any(|v| !v.is_finite()) {
-            return Err(CoreError::BadConfig(
-                "response vector contains non-finite values".into(),
-            ));
-        }
-        let f_norm = norm2(f);
-        if tol::exactly_zero(f_norm) {
-            return Ok(SparsePath::new(m, vec![SparseModel::zero(m)], vec![0.0]));
-        }
-        // Column norms for internal normalization.
-        let mut col_norms = g.column_sq_norms();
-        let mut excluded = vec![false; m];
-        for (j, n) in col_norms.iter_mut().enumerate() {
-            *n = n.sqrt();
-            if *n <= tol::NORM_FLOOR {
-                excluded[j] = true;
-            }
-        }
-        let fetch_col = |j: usize| -> Vec<f64> {
-            let mut c = vec![0.0; k];
-            g.column_into(j, &mut c);
-            let inv = 1.0 / col_norms[j];
-            for v in &mut c {
-                *v *= inv;
-            }
-            c
-        };
-
-        // State.
-        let mut mu = vec![0.0; k]; // current fit X·β
-        let mut c: Vec<f64> = {
-            // c = Xᵀ f with column normalization.
-            let mut c = g.correlate(f);
-            for (j, v) in c.iter_mut().enumerate() {
-                *v /= col_norms[j].max(tol::NORM_FLOOR);
-            }
-            c
-        };
-        let mut active: Vec<usize> = Vec::new();
-        let mut in_active = vec![false; m];
-        let mut beta = vec![0.0f64; m]; // normalized-coordinates coefficients
-        let mut chol = GrowingCholesky::new();
-        let mut active_cols: Vec<Vec<f64>> = Vec::new();
-        let mut snapshots = Vec::new();
-        let mut residual_norms = Vec::new();
-        let tol = self.rel_tol * f_norm;
-
-        let max_active = self.max_steps.min(k.saturating_sub(0)).min(m);
-        let mut steps = 0usize;
-        while steps < self.max_steps {
-            // Maximal absolute correlation among non-active columns.
-            let mut cmax = 0.0f64;
-            let mut jbest: Option<usize> = None;
-            for j in 0..m {
-                if in_active[j] || excluded[j] {
-                    continue;
-                }
-                let a = c[j].abs();
-                if a > cmax {
-                    cmax = a;
-                    jbest = Some(j);
-                }
-            }
-            // Activate the winner (unless we're saturated).
-            if active.len() < max_active {
-                match jbest {
-                    Some(j) if cmax > tol => {
-                        let col = fetch_col(j);
-                        let cross: Vec<f64> = active_cols.iter().map(|ac| dot(ac, &col)).collect();
-                        match chol.push(&cross, 1.0) {
-                            Ok(()) => {
-                                active.push(j);
-                                in_active[j] = true;
-                                active_cols.push(col);
-                            }
-                            Err(_) => {
-                                excluded[j] = true;
-                                continue; // try the next-best column
-                            }
-                        }
-                    }
-                    _ => break, // nothing informative left
-                }
-            } else if active.is_empty() {
-                break;
-            }
-            steps += 1;
-
-            // Equiangular direction.
-            let signs: Vec<f64> = active.iter().map(|&j| c[j].signum()).collect();
-            let w_raw = chol.solve(&signs)?;
-            let s_dot_w = dot(&signs, &w_raw);
-            if s_dot_w <= 0.0 {
-                return Err(CoreError::Numerical(
-                    "LARS equiangular normalization failed (Gram not PD)".into(),
-                ));
-            }
-            let a_a = 1.0 / s_dot_w.sqrt();
-            let w: Vec<f64> = w_raw.iter().map(|v| v * a_a).collect();
-            // u = X_A·w ; a = Xᵀ·u.
-            let mut u = vec![0.0; k];
-            for (ac, &wj) in active_cols.iter().zip(&w) {
-                axpy(wj, ac, &mut u);
-            }
-            let mut a_vec = g.correlate(&u);
-            for (j, v) in a_vec.iter_mut().enumerate() {
-                *v /= col_norms[j].max(tol::NORM_FLOOR);
-            }
-            // Correlation level inside the active set.
-            let c_level = active.iter().map(|&j| c[j].abs()).fold(0.0f64, f64::max);
-
-            // Step length to the next activation event.
-            let mut gamma = c_level / a_a; // full step (last-variable case)
-            for j in 0..m {
-                if in_active[j] || excluded[j] {
-                    continue;
-                }
-                for cand in [
-                    (c_level - c[j]) / (a_a - a_vec[j]),
-                    (c_level + c[j]) / (a_a + a_vec[j]),
-                ] {
-                    if cand > tol::STEP_REL_TOL && cand < gamma {
-                        gamma = cand;
-                    }
-                }
-            }
-            // Lasso: step length to the first zero crossing.
-            let mut drop_idx: Option<usize> = None;
-            if self.lasso {
-                for (pos, (&j, &wj)) in active.iter().zip(&w).enumerate() {
-                    if !tol::exactly_zero(wj) {
-                        let gd = -beta[j] / wj;
-                        if gd > tol::STEP_REL_TOL && gd < gamma {
-                            gamma = gd;
-                            drop_idx = Some(pos);
-                        }
-                    }
-                }
-            }
-
-            // Advance.
-            for ((&j, &wj), _) in active.iter().zip(&w).zip(0..) {
-                beta[j] += gamma * wj;
-            }
-            axpy(gamma, &u, &mut mu);
-            for (cj, aj) in c.iter_mut().zip(&a_vec) {
-                *cj -= gamma * aj;
-            }
-
-            // Handle a lasso drop: remove the variable and rebuild the
-            // Cholesky over the remaining active columns.
-            if let Some(pos) = drop_idx {
-                let j = active.remove(pos);
-                in_active[j] = false;
-                beta[j] = 0.0;
-                active_cols.remove(pos);
-                chol = GrowingCholesky::new();
-                let mut rebuilt = true;
-                for p in 0..active_cols.len() {
-                    let cross: Vec<f64> = (0..p)
-                        .map(|q| dot(&active_cols[q], &active_cols[p]))
-                        .collect();
-                    if chol.push(&cross, 1.0).is_err() {
-                        rebuilt = false;
-                        break;
-                    }
-                }
-                if !rebuilt {
-                    return Err(CoreError::Numerical(
-                        "LARS active-set refactorization failed after drop".into(),
-                    ));
-                }
-            }
-
-            // Record a snapshot in the caller's (unnormalized) scale.
-            let coeffs: Vec<(usize, f64)> = active
-                .iter()
-                .map(|&j| (j, beta[j] / col_norms[j]))
-                .collect();
-            snapshots.push(SparseModel::new(m, coeffs));
-            let res: Vec<f64> = f.iter().zip(&mu).map(|(a, b)| a - b).collect();
-            residual_norms.push(norm2(&res));
-
-            // Converged: correlations exhausted.
-            let remaining = c
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| !excluded[j])
-                .map(|(_, v)| v.abs())
-                .fold(0.0f64, f64::max);
-            if remaining <= tol {
-                break;
-            }
-            if active.len() >= max_active && !self.lasso {
-                // One final full-length step was just taken.
-                break;
-            }
-        }
-        if snapshots.is_empty() {
-            return Err(CoreError::Unsolvable(
-                "no informative basis vector found".into(),
-            ));
-        }
-        Ok(SparsePath::new(m, snapshots, residual_norms))
+        let mut session = LarSession::new(self.clone(), g.num_atoms())?;
+        session.extend_samples(g, f, 0..g.num_rows())?;
+        session.run(g, f)?;
+        session.into_path()
     }
 }
 
@@ -309,6 +104,7 @@ pub fn fit(g: &Matrix, f: &[f64], lambda: usize) -> Result<SparseModel> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rsm_linalg::vec_ops::{dot, norm2};
     use rsm_stats::metrics::relative_error;
     use rsm_stats::NormalSampler;
 

@@ -9,10 +9,9 @@
 //! users trade LARS's exact path for warm-started penalty grids.
 
 use crate::model::SparseModel;
+use crate::session::{FitSession, LassoCdSession};
 use crate::source::AtomSource;
 use crate::{CoreError, Result};
-use rsm_linalg::tol;
-use rsm_linalg::vec_ops::{axpy, norm2};
 use rsm_linalg::Matrix;
 
 /// Coordinate-descent lasso configuration.
@@ -79,93 +78,26 @@ impl LassoCdConfig {
     /// # Errors
     ///
     /// As [`Self::fit`].
+    /// This is a single-batch wrapper over
+    /// [`crate::session::LassoCdSession`]: all samples are fed in one
+    /// [`crate::session::FitSession::extend_samples`] call and sweeping
+    /// runs to convergence.
     pub fn fit_warm_source<S: AtomSource + ?Sized>(
         &self,
         g: &S,
         f: &[f64],
         warm: Option<&[f64]>,
     ) -> Result<SparseModel> {
-        let (k, m) = (g.num_rows(), g.num_atoms());
-        if f.len() != k {
-            return Err(CoreError::ShapeMismatch {
-                expected: format!("response of length {k}"),
-                found: format!("length {}", f.len()),
-            });
-        }
-        if let Some(w) = warm {
-            if w.len() != m {
-                return Err(CoreError::ShapeMismatch {
-                    expected: format!("warm start of length {m}"),
-                    found: format!("length {}", w.len()),
-                });
-            }
-        }
-        if self.penalty < 0.0 || !self.penalty.is_finite() {
-            return Err(CoreError::BadConfig("penalty must be >= 0".into()));
-        }
-        if f.iter().any(|v| !v.is_finite()) {
-            return Err(CoreError::BadConfig(
-                "response vector contains non-finite values".into(),
-            ));
-        }
-        // Column squared norms (coordinate curvature).
-        let col_sq = g.column_sq_norms();
-        let mut alpha: Vec<f64> = warm.map(|w| w.to_vec()).unwrap_or_else(|| vec![0.0; m]);
-        // Residual r = F − G·α (gathering only the warm start's
-        // nonzero columns — no dense matvec needed).
-        let mut res = f.to_vec();
-        let mut col = vec![0.0; k];
-        if warm.is_some() {
-            for (j, &aj) in alpha.iter().enumerate() {
-                if tol::exactly_zero(aj) {
-                    continue;
-                }
-                g.column_into(j, &mut col);
-                axpy(-aj, &col, &mut res);
-            }
-        }
-        let fscale = norm2(f).max(tol::NORM_FLOOR);
-        for _sweep in 0..self.max_sweeps {
-            let mut max_delta = 0.0f64;
-            let mut max_alpha = 0.0f64;
-            for j in 0..m {
-                if col_sq[j] <= tol::NORM_FLOOR {
-                    continue;
-                }
-                g.column_into(j, &mut col);
-                // Partial residual correlation: ρ = G_jᵀ(r + G_j α_j).
-                let rho = rsm_linalg::vec_ops::dot(&col, &res) + col_sq[j] * alpha[j];
-                let new = soft_threshold(rho, self.penalty) / col_sq[j];
-                let delta = new - alpha[j];
-                if !tol::exactly_zero(delta) {
-                    axpy(-delta, &col, &mut res);
-                    alpha[j] = new;
-                }
-                max_delta = max_delta.max(delta.abs());
-                max_alpha = max_alpha.max(new.abs());
-            }
-            if max_delta <= self.tol * max_alpha.max(fscale * tol::DEFAULT_ABS_TOL) {
-                return Ok(SparseModel::new(
-                    m,
-                    alpha
-                        .iter()
-                        .enumerate()
-                        .filter(|&(_, &a)| !tol::exactly_zero(a))
-                        .map(|(j, &a)| (j, a))
-                        .collect(),
-                ));
-            }
-        }
-        Err(CoreError::Numerical(format!(
-            "coordinate descent did not converge in {} sweeps",
-            self.max_sweeps
-        )))
+        let mut session = LassoCdSession::new(self.clone(), g.num_atoms(), warm)?;
+        session.extend_samples(g, f, 0..g.num_rows())?;
+        session.run(g, f)?;
+        Ok(session.model())
     }
 }
 
 /// The soft-threshold operator `S(x, t) = sign(x)·max(|x| − t, 0)`.
 #[inline]
-fn soft_threshold(x: f64, t: f64) -> f64 {
+pub(crate) fn soft_threshold(x: f64, t: f64) -> f64 {
     if x > t {
         x - t
     } else if x < -t {
@@ -201,6 +133,7 @@ pub fn penalty_max_source<S: AtomSource + ?Sized>(g: &S, f: &[f64]) -> Result<f6
 mod tests {
     use super::*;
     use crate::lar::LarConfig;
+    use rsm_linalg::vec_ops::norm2;
     use rsm_stats::NormalSampler;
 
     fn problem(k: usize, m: usize, seed: u64) -> (Matrix, Vec<f64>) {

@@ -25,6 +25,9 @@
 //!   methods);
 //! - [`select`] — Q-fold cross-validated choice of the model order `λ`
 //!   (Section IV-C, Fig. 2);
+//! - [`session`] — resumable incremental solver sessions: the batch
+//!   `fit` entry points are thin wrappers over these, and the streaming
+//!   driver feeds them sample batches as they arrive;
 //! - [`model`] — the sparse model type shared by all solvers;
 //! - [`bundle`] — the persisted model bundle (`rsm fit` output) the
 //!   offline and serving prediction paths both load;
@@ -65,6 +68,7 @@ pub mod model;
 pub mod omp;
 pub mod path;
 pub mod select;
+pub mod session;
 pub mod solver;
 pub mod source;
 pub mod star;
@@ -72,7 +76,10 @@ pub mod star;
 pub use bundle::ModelBundle;
 pub use model::SparseModel;
 pub use path::SparsePath;
-pub use solver::{FitReport, Method, ModelOrder};
+pub use session::{
+    FitSession, LarSession, LassoCdSession, MethodSession, OmpSession, SampleDelta, StepOutcome,
+};
+pub use solver::{fit_streaming, FitReport, Method, ModelOrder, StreamConfig, StreamReport};
 
 use std::fmt;
 

@@ -13,12 +13,15 @@
 //! factorization ([`rsm_linalg::qr::IncrementalQr`]), so step `p`
 //! costs `O(K·M)` for the correlations plus `O(K·p)` for the update —
 //! not the `O(K·p²)` of re-factoring from scratch.
+//!
+//! The selection loop itself lives in [`crate::session::OmpSession`];
+//! the entry points here are thin single-batch wrappers over it.
 
 use crate::model::SparseModel;
 use crate::path::SparsePath;
+use crate::session::{FitSession, OmpSession};
 use crate::source::AtomSource;
-use crate::{CoreError, Result};
-use rsm_linalg::qr::IncrementalQr;
+use crate::Result;
 use rsm_linalg::tol;
 use rsm_linalg::vec_ops::{dot, norm2};
 use rsm_linalg::Matrix;
@@ -61,9 +64,9 @@ impl OmpConfig {
     ///
     /// # Errors
     ///
-    /// - [`CoreError::ShapeMismatch`] if `f.len() != g.rows()`;
-    /// - [`CoreError::BadConfig`] if `lambda == 0`;
-    /// - [`CoreError::Unsolvable`] if no informative column exists at
+    /// - [`CoreError::ShapeMismatch`](crate::CoreError::ShapeMismatch) if `f.len() != g.rows()`;
+    /// - [`CoreError::BadConfig`](crate::CoreError::BadConfig) if `lambda == 0`;
+    /// - [`CoreError::Unsolvable`](crate::CoreError::Unsolvable) if no informative column exists at
     ///   the very first step (e.g. `F = 0` handled gracefully — a
     ///   one-step zero path is returned instead).
     pub fn fit(&self, g: &Matrix, f: &[f64]) -> Result<SparsePath> {
@@ -75,106 +78,18 @@ impl OmpConfig {
     /// whose design matrix is too large to materialize (`M ~ 10⁶`,
     /// the upper end of the paper's target range).
     ///
+    /// This is a single-batch wrapper over [`OmpSession`]: all samples
+    /// are fed in one [`FitSession::extend_samples`] call and selection
+    /// runs to the configured `lambda`.
+    ///
     /// # Errors
     ///
     /// As [`Self::fit`].
     pub fn fit_source<S: AtomSource + ?Sized>(&self, g: &S, f: &[f64]) -> Result<SparsePath> {
-        let (k, m) = (g.num_rows(), g.num_atoms());
-        if f.len() != k {
-            return Err(CoreError::ShapeMismatch {
-                expected: format!("response of length {k}"),
-                found: format!("length {}", f.len()),
-            });
-        }
-        if self.lambda == 0 {
-            return Err(CoreError::BadConfig("lambda must be at least 1".into()));
-        }
-        if f.iter().any(|v| !v.is_finite()) {
-            return Err(CoreError::BadConfig(
-                "response vector contains non-finite values".into(),
-            ));
-        }
-        let f_norm = norm2(f);
-        if tol::exactly_zero(f_norm) {
-            // Degenerate: the zero model is exact.
-            return Ok(SparsePath::new(m, vec![SparseModel::zero(m)], vec![0.0]));
-        }
-        // Optional per-column norms for normalized selection: one
-        // column sweep (O(K·M), same order as a single correlate pass).
-        let col_norms: Option<Vec<f64>> = if self.normalize_atoms {
-            let mut norms = vec![0.0; m];
-            let mut col = vec![0.0; k];
-            for (j, n) in norms.iter_mut().enumerate() {
-                g.column_into(j, &mut col);
-                *n = norm2(&col).max(tol::NORM_FLOOR);
-            }
-            Some(norms)
-        } else {
-            None
-        };
-
-        let lambda_max = self.lambda.min(k).min(m);
-        let mut qr = IncrementalQr::new(k);
-        let mut selected: Vec<usize> = Vec::with_capacity(lambda_max);
-        let mut in_model = vec![false; m];
-        let mut excluded = vec![false; m]; // numerically dependent atoms
-        let mut res = f.to_vec();
-        let mut snapshots = Vec::with_capacity(lambda_max);
-        let mut residual_norms = Vec::with_capacity(lambda_max);
-        let mut col_buf = vec![0.0; k];
-
-        while selected.len() < lambda_max {
-            // ξ = Gᵀ·Res (the 1/K factor does not change the argmax).
-            let xi = g.correlate(&res);
-            let mut best: Option<(usize, f64)> = None;
-            for (j, &v) in xi.iter().enumerate() {
-                if in_model[j] || excluded[j] {
-                    continue;
-                }
-                let score = match &col_norms {
-                    Some(n) => v.abs() / n[j],
-                    None => v.abs(),
-                };
-                match best {
-                    Some((_, b)) if score <= b => {}
-                    _ => best = Some((j, score)),
-                }
-            }
-            let Some((s, score)) = best else { break };
-            if score <= f_norm * tol::STEP_REL_TOL {
-                break; // residual orthogonal to every remaining atom
-            }
-            g.column_into(s, &mut col_buf);
-            match qr.push_column(&col_buf) {
-                Ok(()) => {}
-                Err(_) => {
-                    // Atom in the span of the current selection: skip
-                    // it permanently (Step 4 would loop otherwise).
-                    excluded[s] = true;
-                    continue;
-                }
-            }
-            in_model[s] = true;
-            selected.push(s);
-            // Step 6: full LS re-fit over the selected set.
-            let coef = qr.solve_least_squares(f)?;
-            res = qr.residual(f)?;
-            let rn = norm2(&res);
-            snapshots.push(SparseModel::new(
-                m,
-                selected.iter().copied().zip(coef.iter().copied()).collect(),
-            ));
-            residual_norms.push(rn);
-            if rn <= self.rel_tol * f_norm {
-                break;
-            }
-        }
-        if snapshots.is_empty() {
-            return Err(CoreError::Unsolvable(
-                "no informative basis vector found".into(),
-            ));
-        }
-        Ok(SparsePath::new(m, snapshots, residual_norms))
+        let mut session = OmpSession::new(self.clone(), g.num_atoms())?;
+        session.extend_samples(g, f, 0..g.num_rows())?;
+        session.run(g, f)?;
+        session.into_path()
     }
 }
 
@@ -205,6 +120,7 @@ pub fn residual_orthogonality(g: &Matrix, f: &[f64], model: &SparseModel) -> f64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CoreError;
     use rsm_stats::NormalSampler;
 
     /// Random K×M Gaussian dictionary and a P-sparse ground truth.

@@ -176,6 +176,61 @@ impl GrowingCholesky {
         self.rows.pop().is_some()
     }
 
+    /// Removes the predictor at position `pos` by a Givens-based
+    /// rank-1 downdate, in `O((p - pos)²)` — the factorization stays
+    /// valid for the Gram matrix with row/column `pos` deleted, with
+    /// no refactorization from scratch.
+    ///
+    /// Deleting row `pos` of `L` leaves the remaining rows lower
+    /// Hessenberg: each row `i ≥ pos` carries one entry past its new
+    /// diagonal. A plane rotation on column pair `(j, j+1)` chosen
+    /// from the new diagonal row `j` zeroes that spill entry and, by
+    /// orthogonality of the rotation, preserves `L·Lᵀ` restricted to
+    /// the surviving rows — so after the sweep `L` is again the
+    /// (unique, positive-diagonal) Cholesky factor of the shrunk Gram.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::ShapeMismatch`] if `pos >= p`;
+    /// - [`LinalgError::NotPositiveDefinite`] if a rotated diagonal is
+    ///   non-finite (only possible with a corrupted factor). The
+    ///   factorization is unchanged on a shape error.
+    pub fn drop_column(&mut self, pos: usize) -> Result<()> {
+        let p = self.rows.len();
+        if pos >= p {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("column index < {p}"),
+                found: format!("index {pos}"),
+            });
+        }
+        self.rows.remove(pos);
+        // Restore triangular form column by column. After the removal,
+        // new row `j` (for `j ≥ pos`) has `j + 2` entries; its diagonal
+        // entry for the shrunk matrix must move to slot `j`.
+        for j in pos..(p - 1) {
+            let a = self.rows[j][j];
+            let b = self.rows[j][j + 1];
+            // b is the old diagonal `L[j+1, j+1] > 0`, so r > 0 and the
+            // new diagonal stays positive without any sign fix-up.
+            let r = a.hypot(b);
+            if !r.is_finite() || r <= 0.0 {
+                return Err(LinalgError::NotPositiveDefinite { index: j });
+            }
+            let (c, s) = (a / r, b / r);
+            self.rows[j][j] = r;
+            self.rows[j].truncate(j + 1);
+            for row in self.rows.iter_mut().skip(j + 1) {
+                // One range check per row; the rotated pair is then
+                // addressed at constant offsets.
+                let pair = &mut row[j..j + 2];
+                let (x, y) = (pair[0], pair[1]);
+                pair[0] = c * x + s * y;
+                pair[1] = c * y - s * x;
+            }
+        }
+        Ok(())
+    }
+
     /// Solves `G·x = b` for the current active set.
     ///
     /// # Errors
@@ -313,6 +368,133 @@ mod tests {
         let after = g.solve(&b).unwrap();
         for (x, y) in before.iter().zip(&after) {
             assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    /// Deletes row/column `pos` of a dense SPD matrix.
+    fn shrink(a: &Matrix, pos: usize) -> Matrix {
+        let n = a.rows();
+        let keep: Vec<usize> = (0..n).filter(|&i| i != pos).collect();
+        Matrix::from_fn(n - 1, n - 1, |i, j| a[(keep[i], keep[j])])
+    }
+
+    fn growing_from(a: &Matrix) -> GrowingCholesky {
+        let mut g = GrowingCholesky::new();
+        for p in 0..a.rows() {
+            let cross: Vec<f64> = (0..p).map(|i| a[(i, p)]).collect();
+            g.push(&cross, a[(p, p)]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn drop_column_matches_refactorization() {
+        let a = spd(7, 11);
+        for pos in 0..7 {
+            let mut g = growing_from(&a);
+            g.drop_column(pos).unwrap();
+            assert_eq!(g.dim(), 6);
+            let shrunk = shrink(&a, pos);
+            let b: Vec<f64> = (0..6).map(|i| ((i as f64) - 2.5).cos()).collect();
+            let x_down = g.solve(&b).unwrap();
+            let x_full = Cholesky::new(&shrunk).unwrap().solve(&b).unwrap();
+            for (xd, xf) in x_down.iter().zip(&x_full) {
+                assert!((xd - xf).abs() < 1e-9, "pos {pos}: {xd} vs {xf}");
+            }
+        }
+    }
+
+    #[test]
+    fn drop_column_repeated_down_to_empty() {
+        let a = spd(5, 3);
+        let mut g = growing_from(&a);
+        // Drop in a scrambled order; each intermediate solve must stay
+        // consistent with a dense factorization of the surviving Gram.
+        let mut dense = a.clone();
+        for &pos in &[2usize, 0, 2, 1, 0] {
+            g.drop_column(pos).unwrap();
+            dense = shrink(&dense, pos);
+            if g.dim() > 0 {
+                let b: Vec<f64> = (0..g.dim()).map(|i| i as f64 + 1.0).collect();
+                let x_down = g.solve(&b).unwrap();
+                let x_full = Cholesky::new(&dense).unwrap().solve(&b).unwrap();
+                for (xd, xf) in x_down.iter().zip(&x_full) {
+                    assert!((xd - xf).abs() < 1e-9);
+                }
+            }
+        }
+        assert_eq!(g.dim(), 0);
+    }
+
+    #[test]
+    fn drop_last_column_is_exactly_pop() {
+        let a = spd(4, 8);
+        let mut g = growing_from(&a);
+        let mut h = g.clone();
+        g.drop_column(3).unwrap();
+        h.pop();
+        let b = [0.25, -1.0, 2.0];
+        let xg = g.solve(&b).unwrap();
+        let xh = h.solve(&b).unwrap();
+        for (a, b) in xg.iter().zip(&xh) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn drop_column_exact_on_diagonal_gram() {
+        // Orthogonal predictors: L is diagonal, the Givens sweep sees
+        // a = 0 on every pivot, and power-of-two entries make every
+        // operation exact — the downdate must be bit-identical to the
+        // factorization of the shrunk Gram.
+        let a = Matrix::from_diag(&[4.0, 16.0, 64.0, 256.0]);
+        let mut g = growing_from(&a);
+        g.drop_column(1).unwrap();
+        let shrunk = shrink(&a, 1);
+        let expect = Cholesky::new(&shrunk).unwrap();
+        for row in 0..3 {
+            let b: Vec<f64> = (0..3).map(|c| if c == row { 1.0 } else { 0.0 }).collect();
+            let xd = g.solve(&b).unwrap();
+            let xf = expect.solve(&b).unwrap();
+            for (d, f) in xd.iter().zip(&xf) {
+                assert_eq!(d.to_bits(), f.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn drop_column_out_of_range_leaves_factor_intact() {
+        let a = spd(3, 5);
+        let mut g = growing_from(&a);
+        assert!(g.drop_column(3).is_err());
+        assert_eq!(g.dim(), 3);
+        let b = [1.0, 2.0, 3.0];
+        let x = g.solve(&b).unwrap();
+        let x_ref = growing_from(&a).solve(&b).unwrap();
+        for (a, b) in x.iter().zip(&x_ref) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn drop_then_push_keeps_growing() {
+        // LAR's lasso loop interleaves drops and pushes; make sure the
+        // downdated factor accepts new predictors.
+        let a = spd(5, 13);
+        let mut g = growing_from(&a);
+        g.drop_column(1).unwrap();
+        let keep = [0usize, 2, 3, 4];
+        // Re-append the dropped predictor at the end.
+        let cross: Vec<f64> = keep.iter().map(|&i| a[(i, 1)]).collect();
+        g.push(&cross, a[(1, 1)]).unwrap();
+        assert_eq!(g.dim(), 5);
+        let perm: Vec<usize> = keep.iter().copied().chain([1]).collect();
+        let permuted = Matrix::from_fn(5, 5, |i, j| a[(perm[i], perm[j])]);
+        let b: Vec<f64> = (0..5).map(|i| (i as f64 * 0.7).sin()).collect();
+        let x_inc = g.solve(&b).unwrap();
+        let x_ref = Cholesky::new(&permuted).unwrap().solve(&b).unwrap();
+        for (x, y) in x_inc.iter().zip(&x_ref) {
+            assert!((x - y).abs() < 1e-9);
         }
     }
 

@@ -39,13 +39,20 @@ pub const FRONT_FNS: [&str; 3] = ["cross_validate", "cross_validate_source", "fi
 
 /// Function names that are hot-path kernel entry points for the perf
 /// rules R10–R12 (ROADMAP item 1: the streaming correlate / column
-/// evaluation inner loops).
-pub const KERNEL_FNS: [&str; 5] = [
+/// evaluation inner loops, plus the session-refactor hot paths — the
+/// rank-1 factor downdates and the per-batch delta fold).
+pub const KERNEL_FNS: [&str; 8] = [
     "correlate",
     "column_block_into",
     "columns_into",
     "column_sq_norms",
     "gram_active",
+    // PR 8 incremental sessions: Givens downdates run O(p²) per lasso
+    // drop / OMP deselect, and the delta fold runs once per sample
+    // batch on the pipeline's consumer side.
+    "drop_column",
+    "remove_column",
+    "apply_delta",
 ];
 
 /// Files whose every non-test fn is a kernel entry point (the dense

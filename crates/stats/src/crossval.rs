@@ -4,6 +4,10 @@
 //! groups. Run `q` holds out group `q` for error estimation and trains
 //! on the remaining `Q−1` groups; the per-run errors are averaged into
 //! the final error estimate `ε(λ)` used to pick the model order.
+//!
+//! [`EarlyStopRule`] / [`EarlyStopMonitor`] implement the flattening
+//! test the streaming CV driver uses to cut the `λ` exploration short
+//! once the cross-fold error curve stops improving.
 
 use crate::rng::NormalSampler;
 
@@ -95,6 +99,111 @@ impl QFold {
     }
 }
 
+/// When to stop walking the cross-validation error curve `ε(λ)`.
+///
+/// The curve is observed one `λ` at a time (in increasing order); the
+/// walk stops once `patience` consecutive observations fail to improve
+/// on the best error seen so far by at least a relative
+/// `min_rel_improvement`. The decision depends only on the observed
+/// error sequence — never on timing or worker count — so early-stopped
+/// runs stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStopRule {
+    /// Number of consecutive non-improving observations tolerated
+    /// before stopping.
+    pub patience: usize,
+    /// An observation counts as an improvement only if it is below
+    /// `best · (1 − min_rel_improvement)`.
+    pub min_rel_improvement: f64,
+}
+
+impl EarlyStopRule {
+    /// Practical defaults: stop after 3 flat observations, requiring
+    /// 0.1 % relative improvement to reset the counter.
+    pub fn new() -> Self {
+        EarlyStopRule {
+            patience: 3,
+            min_rel_improvement: 1e-3,
+        }
+    }
+
+    /// Overrides the patience.
+    pub fn with_patience(mut self, patience: usize) -> Self {
+        self.patience = patience;
+        self
+    }
+
+    /// Overrides the improvement threshold.
+    pub fn with_min_rel_improvement(mut self, thresh: f64) -> Self {
+        self.min_rel_improvement = thresh;
+        self
+    }
+}
+
+impl Default for EarlyStopRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Stateful observer applying an [`EarlyStopRule`] to a sequence of
+/// error observations.
+#[derive(Debug, Clone)]
+pub struct EarlyStopMonitor {
+    rule: EarlyStopRule,
+    best: f64,
+    best_index: usize,
+    observed: usize,
+    since_best: usize,
+}
+
+impl EarlyStopMonitor {
+    /// A fresh monitor; nothing observed yet.
+    pub fn new(rule: EarlyStopRule) -> Self {
+        EarlyStopMonitor {
+            rule,
+            best: f64::INFINITY,
+            best_index: 0,
+            observed: 0,
+            since_best: 0,
+        }
+    }
+
+    /// Feeds the next error observation; returns `true` when the walk
+    /// should stop (the curve has been flat for `patience` steps).
+    ///
+    /// Non-finite observations never count as improvements.
+    pub fn observe(&mut self, err: f64) -> bool {
+        // Any finite error beats an infinite `best`, so the first
+        // finite observation always resets the counter.
+        let improved = err.is_finite() && err < self.best * (1.0 - self.rule.min_rel_improvement);
+        if improved {
+            self.best = err;
+            self.best_index = self.observed;
+            self.since_best = 0;
+        } else {
+            self.since_best += 1;
+        }
+        self.observed += 1;
+        self.since_best >= self.rule.patience
+    }
+
+    /// Best (smallest finite) error observed so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// 0-based index of the best observation.
+    pub fn best_index(&self) -> usize {
+        self.best_index
+    }
+
+    /// Number of observations fed so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +277,48 @@ mod tests {
     fn split_out_of_range_panics() {
         let folds = QFold::new(10, 2).unwrap();
         let _ = folds.split(2);
+    }
+
+    #[test]
+    fn early_stop_fires_after_patience_flat_steps() {
+        let mut m = EarlyStopMonitor::new(EarlyStopRule::new().with_patience(2));
+        assert!(!m.observe(1.0));
+        assert!(!m.observe(0.5)); // improvement resets
+        assert!(!m.observe(0.5001)); // flat 1
+        assert!(m.observe(0.52)); // flat 2 → stop
+        assert_eq!(m.best_index(), 1);
+        assert!((m.best() - 0.5).abs() < 1e-12);
+        assert_eq!(m.observed(), 4);
+    }
+
+    #[test]
+    fn early_stop_requires_relative_improvement() {
+        // A 0.01% improvement does not reset a 1%-threshold monitor.
+        let rule = EarlyStopRule::new()
+            .with_patience(1)
+            .with_min_rel_improvement(0.01);
+        let mut m = EarlyStopMonitor::new(rule);
+        assert!(!m.observe(1.0));
+        assert!(m.observe(0.9999));
+    }
+
+    #[test]
+    fn early_stop_ignores_non_finite_errors() {
+        let mut m = EarlyStopMonitor::new(EarlyStopRule::new().with_patience(3));
+        assert!(!m.observe(f64::INFINITY));
+        assert!(!m.observe(f64::NAN));
+        assert!(!m.observe(0.7)); // first finite → best
+        assert!((m.best() - 0.7).abs() < 1e-12);
+        assert_eq!(m.best_index(), 2);
+    }
+
+    #[test]
+    fn early_stop_never_fires_on_steady_improvement() {
+        let mut m = EarlyStopMonitor::new(EarlyStopRule::new().with_patience(1));
+        let mut err = 1.0;
+        for _ in 0..50 {
+            assert!(!m.observe(err));
+            err *= 0.9;
+        }
     }
 }

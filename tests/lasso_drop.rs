@@ -1,0 +1,239 @@
+//! Directed coverage of the lasso drop path and its Cholesky downdate.
+//!
+//! PR 8 replaced the drop-path refactorization (rebuild the active-set
+//! Cholesky from scratch after removing a column — `O(p³)`) with a
+//! Givens rank-1 downdate (`GrowingCholesky::drop_column`, `O(p²)`).
+//! This is the one sanctioned numeric change of the session refactor,
+//! so it gets its own pins:
+//!
+//! - a fixture that **provably** takes the drop branch (atoms leave the
+//!   support between consecutive snapshots — impossible without the
+//!   lasso drop);
+//! - golden bit patterns for the whole path, captured at one worker
+//!   thread on the downdate implementation;
+//! - agreement with coordinate descent at a matched post-drop penalty,
+//!   showing the downdated factor still solves the right equations;
+//! - `excluded` bookkeeping surviving drops: every dropped atom stays
+//!   eligible and is in fact re-selected later on this fixture.
+//!
+//! The fixture is a masked-predictor construction: column 2 is (almost)
+//! a scaled sum of columns 0 and 1, and the response is their sum — so
+//! the composite atom enters the path first, then its coefficient
+//! crosses zero once the true atoms take over.
+
+use sparse_rsm::core::lar::LarConfig;
+use sparse_rsm::core::lasso_cd::LassoCdConfig;
+use sparse_rsm::core::SparsePath;
+use sparse_rsm::linalg::{vec_ops::norm2, Matrix};
+use sparse_rsm::runtime;
+use sparse_rsm::stats::NormalSampler;
+
+/// 40×25 Gaussian design, seed 0, with the masked composite atom 2 and
+/// response `x₀ + x₁ + noise`.
+fn drop_fixture() -> (Matrix, Vec<f64>) {
+    let (k, m) = (40, 25);
+    let mut s = NormalSampler::seed_from_u64(0);
+    let mut g = Matrix::from_fn(k, m, |_, _| s.sample());
+    for r in 0..k {
+        g[(r, 2)] = 0.70 * (g[(r, 0)] + g[(r, 1)]) + 0.08 * s.sample();
+    }
+    let f: Vec<f64> = (0..k)
+        .map(|r| g[(r, 0)] + g[(r, 1)] + 0.12 * s.sample())
+        .collect();
+    (g, f)
+}
+
+/// Every `(step, atom)` pair where `atom` is in the support at `step`
+/// but gone at `step + 1` — each one is a taken lasso-drop branch.
+fn drop_events(path: &SparsePath) -> Vec<(usize, usize)> {
+    let mut events = Vec::new();
+    for l in 1..path.len() {
+        let before = path.model_at(l);
+        let after = path.model_at(l + 1);
+        for j in before.support() {
+            if after.coefficient(j).is_none() {
+                events.push((l, j));
+            }
+        }
+    }
+    events
+}
+
+#[test]
+fn lasso_path_provably_takes_the_drop_branch() {
+    let (g, f) = drop_fixture();
+    let path = LarConfig::new(25).with_lasso().fit(&g, &f).unwrap();
+    let events = drop_events(&path);
+    assert!(
+        !events.is_empty(),
+        "fixture no longer triggers the lasso drop branch"
+    );
+    // Pin the first event so the fixture cannot silently degrade into a
+    // single late-path drop.
+    assert!(
+        events[0].0 <= 16,
+        "first drop moved late in the path: {events:?}"
+    );
+    // Without the drop branch the snapshot count equals the activation
+    // count; with drops the path keeps advancing past them.
+    assert_eq!(path.len(), 25);
+
+    // The same branch must fire identically without the lasso flag —
+    // i.e. not at all: plain LAR supports only grow.
+    let plain = LarConfig::new(25).fit(&g, &f).unwrap();
+    assert!(drop_events(&plain).is_empty());
+}
+
+#[test]
+fn dropped_atoms_stay_eligible_and_are_reselected() {
+    // `excluded` must survive the drop untouched: a dropped atom is
+    // *inactive*, not *excluded*, so later steps can re-activate it.
+    let (g, f) = drop_fixture();
+    let path = LarConfig::new(25).with_lasso().fit(&g, &f).unwrap();
+    let events = drop_events(&path);
+    assert!(!events.is_empty());
+    for &(step, atom) in &events {
+        let reselected =
+            (step + 2..=path.len()).any(|l| path.model_at(l).coefficient(atom).is_some());
+        assert!(
+            reselected,
+            "atom {atom} dropped at step {step} was never re-selected \
+             (drop path may be poisoning the excluded set)"
+        );
+    }
+    // Atom 8 is dropped twice on this fixture — the downdate must
+    // survive repeated drop/re-activate cycles of the same column.
+    assert!(events.iter().filter(|&&(_, j)| j == 8).count() >= 2);
+}
+
+/// Residual ℓ₂ norms of the 25-step lasso path, captured at one worker
+/// thread on the downdate (`drop_column`) implementation.
+const GOLDEN_RESIDUAL_BITS: [u64; 25] = [
+    0x3ff14b44e2c37c06,
+    0x3feff01e6a7a74b3,
+    0x3fef3bd5079c1cdb,
+    0x3feedcafa2c4663d,
+    0x3feeb6e92612abfc,
+    0x3fecac3d9ad3e38a,
+    0x3fea0c9a0fd92ea3,
+    0x3fe8064acd87dd64,
+    0x3fe7c22efae1fe75,
+    0x3fe6b5bd172ae9b6,
+    0x3fe6893e84c1173c,
+    0x3fe672c63fd52c18,
+    0x3fe6108a74efb598,
+    0x3fe5c816c2ba7759,
+    0x3fe5ac36ad65a1d6,
+    0x3fe4333fc883a97c,
+    0x3fe3afbcd5d474c6,
+    0x3fe34460c704db7c,
+    0x3fe2b345f4d3f5b3,
+    0x3fe2b2c8f334562a,
+    0x3fe27c0d8395f3c2,
+    0x3fe21dd02f7beb2a,
+    0x3fe0423ac3dde590,
+    0x3fdfcbddb9ab461b,
+    0x3fdf887984342e9d,
+];
+
+/// Final model (atom index, coefficient bits), same capture.
+const GOLDEN_FINAL_COEFFS: [(usize, u64); 21] = [
+    (0, 0x3fecbe520c132a3a),
+    (1, 0x3fee6a837f220592),
+    (2, 0x3fbdfbb39db97483),
+    (5, 0x3f7054e6b25156b6),
+    (6, 0x3fa1b31318231198),
+    (7, 0x3f8852cebaa34c29),
+    (8, 0xbf63a84f277e1287),
+    (9, 0x3f91630ae7a12b75),
+    (10, 0xbfa33e7a50061fd2),
+    (11, 0xbf9c11c53d77c73e),
+    (12, 0x3fa3ba533390e9d0),
+    (13, 0x3f7ccf29ecc587a1),
+    (14, 0xbf9aff735488051b),
+    (15, 0x3fa247df7592ffea),
+    (16, 0x3f9fc2c072eb2dcc),
+    (17, 0x3f465372f6abe4e6),
+    (18, 0xbf860edc9ac86d5d),
+    (20, 0x3f719e7b8e04820b),
+    (22, 0x3f748b3de150db8c),
+    (23, 0x3f887f711d144a9f),
+    (24, 0xbf594d7de23f33e4),
+];
+
+#[test]
+fn post_drop_path_matches_golden_bits() {
+    runtime::set_threads(1);
+    let (g, f) = drop_fixture();
+    let path = LarConfig::new(25).with_lasso().fit(&g, &f).unwrap();
+    runtime::set_threads(0);
+    assert_eq!(path.len(), GOLDEN_RESIDUAL_BITS.len());
+    for (i, (r, gold)) in path
+        .residual_norms()
+        .iter()
+        .zip(&GOLDEN_RESIDUAL_BITS)
+        .enumerate()
+    {
+        assert_eq!(
+            r.to_bits(),
+            *gold,
+            "residual norm {i} drifted: {r} vs {}",
+            f64::from_bits(*gold)
+        );
+    }
+    let fm = path.final_model();
+    assert_eq!(fm.coefficients().len(), GOLDEN_FINAL_COEFFS.len());
+    for (&(j, c), &(gj, gc)) in fm.coefficients().iter().zip(&GOLDEN_FINAL_COEFFS) {
+        assert_eq!(j, gj, "support drifted at atom {j}");
+        assert_eq!(
+            c.to_bits(),
+            gc,
+            "coefficient {j} drifted: {c} vs {}",
+            f64::from_bits(gc)
+        );
+    }
+}
+
+#[test]
+fn post_drop_model_agrees_with_coordinate_descent() {
+    // Independent cross-check that the downdated factor solves the
+    // right equations: at a matched penalty, a post-drop lasso-LARS
+    // snapshot and coordinate descent must coincide. LARS normalizes
+    // predictors internally, so normalize G first (as in the lasso_cd
+    // unit tests) so a single penalty matches both solvers.
+    let (mut g, f) = drop_fixture();
+    for j in 0..g.cols() {
+        let n = norm2(&g.col(j));
+        for r in 0..g.rows() {
+            g[(r, j)] /= n;
+        }
+    }
+    let path = LarConfig::new(25).with_lasso().fit(&g, &f).unwrap();
+    let events = drop_events(&path);
+    assert!(!events.is_empty(), "normalized fixture lost its drop");
+    // A snapshot strictly after the first drop: its active set was
+    // produced by at least one downdate.
+    let lambda = events[0].0 + 1;
+    let model_lars = path.model_at(lambda);
+    let pred = model_lars.predict_matrix(&g);
+    let res: Vec<f64> = f.iter().zip(&pred).map(|(a, b)| a - b).collect();
+    let grad = g.matvec_t(&res).unwrap();
+    let &(j0, _) = model_lars.coefficients().first().expect("nonempty model");
+    let pen = grad[j0].abs();
+    let model_cd = LassoCdConfig::new(pen).fit(&g, &f).unwrap();
+    let scale = model_lars.l2_norm();
+    let cd_support: Vec<usize> = model_cd
+        .coefficients()
+        .iter()
+        .filter(|&&(_, c)| c.abs() > 1e-6 * scale)
+        .map(|&(j, _)| j)
+        .collect();
+    assert_eq!(cd_support, model_lars.support());
+    for &(j, a) in model_lars.coefficients() {
+        let b = model_cd.coefficient(j).unwrap();
+        assert!(
+            (a - b).abs() < 1e-5 * (1.0 + a.abs()),
+            "atom {j}: LARS {a} vs CD {b}"
+        );
+    }
+}

@@ -452,3 +452,90 @@ fn rsm_threads_env_knob_is_honored_unless_overridden() {
     runtime::set_threads(0);
     assert!(runtime::threads() >= 1);
 }
+
+// ---------------------------------------------------------------------------
+// Streaming (pipelined) driver
+// ---------------------------------------------------------------------------
+
+#[test]
+fn streaming_fixed_order_is_thread_count_invariant() {
+    // The pipelined producer computes batch deltas on worker threads,
+    // but the fitter folds them in row order — so the fitted model must
+    // be bit-identical at every thread count for a fixed batch size.
+    use sparse_rsm::core::solver::{fit_streaming, ModelOrder, StreamConfig};
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (g, f) = matrix_problem();
+    for method in [Method::Omp, Method::Lar, Method::LarLasso] {
+        let stream = StreamConfig::new(32);
+        runtime::set_threads(THREAD_COUNTS[0]);
+        let base = fit_streaming(&g, &f, method, &ModelOrder::Fixed(10), &stream).unwrap();
+        assert_eq!(base.batches, 4); // 120 rows / 32-row batches
+        for &n in &THREAD_COUNTS[1..] {
+            runtime::set_threads(n);
+            let rep = fit_streaming(&g, &f, method, &ModelOrder::Fixed(10), &stream).unwrap();
+            assert_eq!(
+                rep.report.model.support(),
+                base.report.model.support(),
+                "{method:?}: support differs at {n} threads"
+            );
+            for ((ia, ca), (ib, cb)) in rep
+                .report
+                .model
+                .coefficients()
+                .iter()
+                .zip(base.report.model.coefficients())
+            {
+                assert_eq!(ia, ib, "{method:?}: atom order differs at {n} threads");
+                assert_eq!(
+                    ca.to_bits(),
+                    cb.to_bits(),
+                    "{method:?}: coefficient {ia} differs at {n} threads"
+                );
+            }
+        }
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn streaming_cv_with_early_stop_is_thread_count_invariant() {
+    // Early stopping depends only on the observed error sequence, and
+    // every fold's error lands at the fold's own index — so the stop
+    // point, the error curve, and the selected λ* are thread-count
+    // invariant.
+    use sparse_rsm::core::solver::{fit_streaming, ModelOrder, StreamConfig};
+    use sparse_rsm::stats::EarlyStopRule;
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let (g, f) = matrix_problem();
+    let order = ModelOrder::CrossValidated(CvConfig::new(12));
+    let stream = StreamConfig::new(32).with_early_stop(EarlyStopRule::new().with_patience(2));
+    runtime::set_threads(THREAD_COUNTS[0]);
+    let base = fit_streaming(&g, &f, Method::Omp, &order, &stream).unwrap();
+    let base_cv = base.report.cv.clone().unwrap();
+    for &n in &THREAD_COUNTS[1..] {
+        runtime::set_threads(n);
+        let rep = fit_streaming(&g, &f, Method::Omp, &order, &stream).unwrap();
+        let cv = rep.report.cv.unwrap();
+        assert_eq!(
+            rep.lambda_explored, base.lambda_explored,
+            "early-stop point differs at {n} threads"
+        );
+        assert_eq!(
+            cv.best_lambda, base_cv.best_lambda,
+            "λ* differs at {n} threads"
+        );
+        for (a, b) in cv.errors.iter().zip(&base_cv.errors) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "streaming CV error curve differs at {n} threads"
+            );
+        }
+        assert_eq!(
+            rep.report.model.support(),
+            base.report.model.support(),
+            "final model differs at {n} threads"
+        );
+    }
+    runtime::set_threads(0);
+}
